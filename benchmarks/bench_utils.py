@@ -1,0 +1,36 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark runs one experiment from :mod:`repro.experiments` exactly
+once (``rounds=1, iterations=1``): the quantity of interest is the
+experiment's *content* (the regenerated table and its verdict), not the wall
+clock of the harness itself, so repeated timing rounds would only burn time.
+The report table is echoed to stdout so that ``pytest benchmarks/
+--benchmark-only -s`` reproduces the paper's series directly, and the raw
+values are attached to the benchmark's ``extra_info`` so they land in the
+saved benchmark JSON as well.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import pytest
+
+from repro.sim.results import ExperimentReport
+
+
+def run_experiment_benchmark(
+    benchmark, runner: Callable[..., ExperimentReport], **kwargs
+) -> ExperimentReport:
+    """Run one experiment under the benchmark fixture and echo its report."""
+    report = benchmark.pedantic(
+        lambda: runner(**kwargs), rounds=1, iterations=1, warmup_rounds=0
+    )
+    benchmark.extra_info["experiment_id"] = report.experiment_id
+    benchmark.extra_info["claim"] = report.claim
+    benchmark.extra_info["verdict"] = report.verdict
+    for key, value in report.details.items():
+        benchmark.extra_info[f"detail/{key}"] = repr(value)
+    print()
+    print(report.to_markdown())
+    return report

@@ -1,0 +1,50 @@
+"""Benchmarks E17–E20: ablations and extensions beyond the paper's results.
+
+* E17 validates the fast offline optimum against exhaustive search
+  (DESIGN.md decision 1).
+* E18 answers the paper's concluding-remark question 3 empirically
+  (non-uniform randomized adversaries shift the bounds).
+* E19 regenerates the trade-off inside Theorem 10 (the choice of f(n)).
+* E20 checks Theorem 5's insensitivity to the edge order within a round.
+"""
+
+from repro.experiments.extensions import (
+    run_nonuniform_adversary,
+    run_offline_crosscheck,
+    run_tau_tradeoff,
+    run_tree_order_ablation,
+)
+
+from bench_utils import run_experiment_benchmark
+
+
+def test_offline_optimum_crosscheck(benchmark):
+    """E17: journey-based opt equals exhaustive search on every instance."""
+    report = run_experiment_benchmark(
+        benchmark, run_offline_crosscheck, ns=(3, 4, 5, 6, 7), sequences_per_n=25, length=60
+    )
+    assert report.verdict
+
+
+def test_nonuniform_adversary_extension(benchmark):
+    """E18: hub/Zipf-skewed adversaries shift the Section 4 constants."""
+    report = run_experiment_benchmark(
+        benchmark, run_nonuniform_adversary, n=48, trials=12
+    )
+    assert report.verdict
+
+
+def test_waiting_greedy_tau_tradeoff(benchmark):
+    """E19: the termination time is minimised at f(n) = sqrt(n log n)."""
+    report = run_experiment_benchmark(
+        benchmark, run_tau_tradeoff, n=80, trials=10
+    )
+    assert report.verdict
+
+
+def test_spanning_tree_order_ablation(benchmark):
+    """E20: tree-footprint optimality holds for every per-round edge order."""
+    report = run_experiment_benchmark(
+        benchmark, run_tree_order_ablation, n=16, trees=5, rounds=12
+    )
+    assert report.verdict

@@ -1,0 +1,63 @@
+"""Benchmark E16: head-to-head comparison figure, plus core micro-benchmarks.
+
+The comparison benchmark regenerates the summary series (mean interactions
+to termination per algorithm per n).  The micro-benchmarks time the two
+hottest primitives of the library — the executor's interaction loop and the
+offline optimum computation — so that performance regressions in the
+substrate are caught alongside the scientific results.
+"""
+
+import pytest
+
+from repro.algorithms.gathering import Gathering
+from repro.core.execution import Executor
+from repro.experiments.comparison import run_comparison
+from repro.graph.generators import uniform_random_sequence
+from repro.offline.convergecast import build_convergecast_schedule, opt
+
+from bench_utils import run_experiment_benchmark
+
+
+def test_comparison_figure(benchmark):
+    """E16: mean termination time of every algorithm across an n sweep."""
+    report = run_experiment_benchmark(
+        benchmark, run_comparison, ns=(16, 24, 36, 54, 80), trials=10
+    )
+    assert report.verdict
+    means = report.details["means_at_largest_n"]
+    # Qualitative shape of the paper: more knowledge -> fewer interactions.
+    assert means["full_knowledge"] < means["waiting_greedy"] < means["gathering"]
+
+
+@pytest.fixture(scope="module")
+def committed_sequence():
+    """A fixed random sequence reused by the micro-benchmarks."""
+    return uniform_random_sequence(list(range(100)), 40_000, seed=7)
+
+
+def test_micro_executor_throughput(benchmark, committed_sequence):
+    """Micro-benchmark: executor interactions per second (Gathering, n=100)."""
+    nodes = list(range(100))
+
+    def run():
+        executor = Executor(nodes, 0, Gathering())
+        return executor.run(committed_sequence)
+
+    result = benchmark(run)
+    assert result.terminated
+
+
+def test_micro_offline_opt(benchmark, committed_sequence):
+    """Micro-benchmark: offline optimum (foremost-arrival sweep) on 40k interactions."""
+    nodes = list(range(100))
+    value = benchmark(lambda: opt(committed_sequence, nodes, 0))
+    assert value < 40_000
+
+
+def test_micro_schedule_construction(benchmark, committed_sequence):
+    """Micro-benchmark: explicit optimal schedule construction."""
+    nodes = list(range(100))
+    schedule = benchmark(
+        lambda: build_convergecast_schedule(committed_sequence, nodes, 0)
+    )
+    assert len(schedule.transmissions) == 99

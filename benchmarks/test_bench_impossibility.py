@@ -1,0 +1,39 @@
+"""Benchmarks E1–E3: impossibility constructions (Theorems 1, 2, 3).
+
+Each benchmark regenerates the corresponding "result" of the paper: the
+adversary construction starves the algorithm for the whole horizon while the
+offline optimum could have completed many convergecasts (cost = ∞).
+"""
+
+from repro.experiments.impossibility import (
+    run_theorem1,
+    run_theorem2,
+    run_theorem3,
+)
+
+from bench_utils import run_experiment_benchmark
+
+
+def test_theorem1_adaptive_adversary(benchmark):
+    """E1: adaptive adversary vs every no-knowledge algorithm (3 nodes)."""
+    report = run_experiment_benchmark(benchmark, run_theorem1, horizon=5000)
+    assert report.verdict
+
+
+def test_theorem2_oblivious_adversary_vs_randomized(benchmark):
+    """E2: oblivious adversary defeats oblivious randomized algorithms w.h.p."""
+    report = run_experiment_benchmark(
+        benchmark,
+        run_theorem2,
+        n=16,
+        horizon_cycles=60,
+        trials=30,
+        estimation_trials=200,
+    )
+    assert report.verdict
+
+
+def test_theorem3_underlying_graph_not_enough(benchmark):
+    """E3: knowing G-bar does not help against an adaptive adversary (n >= 4)."""
+    report = run_experiment_benchmark(benchmark, run_theorem3, horizon=5000)
+    assert report.verdict

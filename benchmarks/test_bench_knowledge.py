@@ -1,0 +1,31 @@
+"""Benchmarks E4–E6: possibility results with topology/future knowledge."""
+
+from repro.experiments.knowledge import run_theorem4, run_theorem5, run_theorem6
+
+from bench_utils import run_experiment_benchmark
+
+
+def test_theorem4_unbounded_but_finite_cost(benchmark):
+    """E4: recurrent interactions give finite cost that grows with the delay."""
+    report = run_experiment_benchmark(
+        benchmark, run_theorem4, n=10, delay_rounds=(5, 10, 20, 40, 80)
+    )
+    assert report.verdict
+    costs = report.details["costs"]
+    assert costs[-1] >= 4 * costs[0]
+
+
+def test_theorem5_tree_footprint_optimal(benchmark):
+    """E5: on tree footprints the spanning-tree algorithm has cost exactly 1."""
+    report = run_experiment_benchmark(
+        benchmark, run_theorem5, ns=(8, 12, 20, 32), trees_per_n=5, rounds=15
+    )
+    assert report.verdict
+
+
+def test_theorem6_future_knowledge_cost_at_most_n(benchmark):
+    """E6: knowing one's own future bounds the cost by n."""
+    report = run_experiment_benchmark(
+        benchmark, run_theorem6, ns=(8, 12, 20), trials_per_n=4
+    )
+    assert report.verdict

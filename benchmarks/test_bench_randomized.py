@@ -1,0 +1,103 @@
+"""Benchmarks E7–E15: bounds under the randomized adversary (Section 4).
+
+Each benchmark regenerates one of the paper's quantitative claims as a
+table (n sweep, measured mean vs. theoretical bound) and asserts that the
+claim's *shape* is reproduced: who wins, the fitted growth exponent, and
+the w.h.p. concentration where the paper states one.
+"""
+
+from repro.experiments.randomized import (
+    run_corollary1,
+    run_cost_conversion,
+    run_lemma1,
+    run_theorem10,
+    run_theorem11,
+    run_theorem7,
+    run_theorem8,
+    run_theorem9_gathering,
+    run_theorem9_waiting,
+)
+
+from bench_utils import run_experiment_benchmark
+
+#: The n sweep used by the benchmark-scale runs (larger than the test-scale
+#: sweep so the growth-rate fits are meaningful, still laptop-friendly).
+BENCH_NS = (16, 24, 36, 54, 80, 120)
+BENCH_TRIALS = 15
+
+
+def test_theorem7_lower_bound(benchmark):
+    """E7: Ω(n²) interactions are required without knowledge."""
+    report = run_experiment_benchmark(
+        benchmark, run_theorem7, ns=BENCH_NS, trials=BENCH_TRIALS
+    )
+    assert report.verdict
+    assert 1.6 <= report.details["fitted_exponent"] <= 2.4
+
+
+def test_theorem8_full_knowledge(benchmark):
+    """E8: the offline optimum / full-knowledge algorithm is Θ(n log n)."""
+    report = run_experiment_benchmark(
+        benchmark, run_theorem8, ns=BENCH_NS, trials=BENCH_TRIALS
+    )
+    assert report.verdict
+    assert abs(report.details["ratio_drift"]) <= 0.35
+
+
+def test_corollary1_future_knowledge(benchmark):
+    """E9: DODA(future) terminates in Θ(n log n)."""
+    report = run_experiment_benchmark(
+        benchmark, run_corollary1, ns=BENCH_NS, trials=BENCH_TRIALS
+    )
+    assert report.verdict
+
+
+def test_theorem9_waiting(benchmark):
+    """E10: Waiting terminates in O(n² log n) expected interactions."""
+    report = run_experiment_benchmark(
+        benchmark, run_theorem9_waiting, ns=BENCH_NS, trials=BENCH_TRIALS
+    )
+    assert report.verdict
+
+
+def test_theorem9_gathering(benchmark):
+    """E11: Gathering terminates in O(n²) expected interactions (optimal)."""
+    report = run_experiment_benchmark(
+        benchmark, run_theorem9_gathering, ns=BENCH_NS, trials=BENCH_TRIALS
+    )
+    assert report.verdict
+    assert 1.6 <= report.details["fitted_exponent"] <= 2.4
+
+
+def test_lemma1_sink_meetings(benchmark):
+    """E12: within n·f(n) interactions, Θ(f(n)) distinct nodes meet the sink."""
+    report = run_experiment_benchmark(
+        benchmark, run_lemma1, ns=BENCH_NS, trials=BENCH_TRIALS
+    )
+    assert report.verdict
+
+
+def test_theorem10_waiting_greedy(benchmark):
+    """E13: Waiting Greedy with tau = Θ(n^{3/2}√log n) terminates by tau w.h.p."""
+    report = run_experiment_benchmark(
+        benchmark, run_theorem10, ns=BENCH_NS, trials=BENCH_TRIALS
+    )
+    assert report.verdict
+
+
+def test_theorem11_optimality(benchmark):
+    """E14: Waiting Greedy beats every no-knowledge algorithm, gap grows with n."""
+    report = run_experiment_benchmark(
+        benchmark, run_theorem11, ns=(16, 32, 64, 96), trials=10
+    )
+    assert report.verdict
+    speedups = report.details["speedups"]
+    assert speedups[-1] > speedups[0]
+
+
+def test_cost_conversion(benchmark):
+    """E15: O(n²) interactions correspond to cost O(n / log n)."""
+    report = run_experiment_benchmark(
+        benchmark, run_cost_conversion, ns=(12, 18, 27, 40, 60), trials=8
+    )
+    assert report.verdict

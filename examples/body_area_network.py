@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Body-area sensor network scenario (the paper's first motivating example).
+
+"Sensors deployed on a human body" produce a small, periodic but
+activity-dependent contact pattern: during some activity phases a sensor
+cannot reach the hub directly and must relay through a neighbouring sensor.
+This example synthesises such a trace, checks that aggregation is feasible
+at all, and compares the paper's algorithms on it — including how well the
+optimal offline schedule (which a deployment could precompute if the
+activity schedule is known) does against the online algorithms.
+
+Run with::
+
+    python examples/body_area_network.py [--sensors 10] [--cycles 40]
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+
+from repro import (
+    Executor,
+    FullKnowledge,
+    Gathering,
+    KnowledgeBundle,
+    SpanningTreeAggregation,
+    UnderlyingGraphKnowledge,
+    Waiting,
+    cost_of_result,
+)
+from repro.graph import BodyAreaNetworkTrace, aggregation_feasible, summarize
+from repro.knowledge import FullKnowledge as FullKnowledgeOracle
+from repro.offline.convergecast import opt
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--sensors", type=int, default=10, help="number of on-body sensors")
+    parser.add_argument("--cycles", type=int, default=40, help="number of activity cycles")
+    parser.add_argument("--seed", type=int, default=3, help="trace RNG seed")
+    args = parser.parse_args()
+
+    trace = BodyAreaNetworkTrace(
+        sensor_count=args.sensors, cycles=args.cycles, seed=args.seed
+    ).build()
+
+    stats = summarize(trace)
+    print("Body-area network trace")
+    print(f"  nodes:              {stats.node_count} (hub + {args.sensors} sensors)")
+    print(f"  contacts:           {stats.interaction_count}")
+    print(f"  distinct links:     {stats.distinct_pairs}")
+    print(f"  hub contacts:       {stats.sink_contact_count}")
+    print(f"  feasible:           {aggregation_feasible(trace)}")
+    optimum = opt(trace.sequence, trace.nodes, trace.sink)
+    print(f"  offline optimum:    {int(optimum) + 1} contacts")
+    print()
+
+    lineup = [
+        ("waiting", Waiting(), None),
+        ("gathering", Gathering(), None),
+        (
+            "spanning tree (knows link map)",
+            SpanningTreeAggregation(),
+            KnowledgeBundle(
+                UnderlyingGraphKnowledge(trace.nodes, sequence=trace.sequence)
+            ),
+        ),
+        (
+            "offline schedule (full knowledge)",
+            FullKnowledge(),
+            KnowledgeBundle(FullKnowledgeOracle(trace.sequence)),
+        ),
+    ]
+
+    print(f"{'algorithm':36s} {'contacts used':>14s} {'cost':>6s} {'done':>6s}")
+    print("-" * 66)
+    for label, algorithm, knowledge in lineup:
+        executor = Executor(trace.nodes, trace.sink, algorithm, knowledge=knowledge)
+        result = executor.run(trace.sequence)
+        breakdown = cost_of_result(result, trace.sequence, trace.nodes, trace.sink)
+        duration = result.duration if result.terminated else math.inf
+        print(
+            f"{label:36s} {duration:14.0f} {breakdown.cost:6.0f} "
+            f"{str(result.terminated):>6s}"
+        )
+
+    print()
+    print(
+        "Each sensor transmits exactly once (the model's energy constraint), so\n"
+        "the 'contacts used' column is the time-to-completion, not an energy cost."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The build environment has no ``wheel`` package and no network access, so
+PEP 517 editable installs (which need ``bdist_wheel``) fail.  This shim lets
+``pip install -e . --no-use-pep517 --no-build-isolation`` fall back to the
+classic ``setup.py develop`` path; all project metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

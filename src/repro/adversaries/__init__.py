@@ -1,0 +1,25 @@
+"""Adversary models: oblivious, online adaptive, and randomized."""
+
+from .base import Adversary, AdaptiveAdversary, EventuallyPeriodicAdversary
+from .constructions import (
+    Theorem1Adversary,
+    Theorem2Construction,
+    Theorem3Adversary,
+    theorem4_delaying_sequence,
+)
+from .nonuniform import NonUniformRandomizedAdversary, hub_weights, zipf_weights
+from .randomized import RandomizedAdversary
+
+__all__ = [
+    "AdaptiveAdversary",
+    "Adversary",
+    "EventuallyPeriodicAdversary",
+    "NonUniformRandomizedAdversary",
+    "RandomizedAdversary",
+    "hub_weights",
+    "zipf_weights",
+    "Theorem1Adversary",
+    "Theorem2Construction",
+    "Theorem3Adversary",
+    "theorem4_delaying_sequence",
+]

@@ -1,0 +1,152 @@
+"""Adversary interfaces.
+
+The adversary controls the dynamics of the network: it decides which
+interaction occurs at each time step.  Three families are modelled, matching
+Section 2.2 of the paper:
+
+* *oblivious* — the whole sequence is fixed before the execution starts
+  (possibly eventually periodic, to model infinite sequences);
+* *online adaptive* — the next interaction may depend on the algorithm's
+  past decisions, which the adversary observes through the network state;
+* *randomized* — every interaction is drawn uniformly at random among all
+  pairs.
+
+All adversaries implement the executor's
+:class:`~repro.core.execution.InteractionProvider` protocol.  Adversaries
+that *commit* to their future (oblivious and randomized ones) additionally
+implement ``next_meeting`` so that knowledge oracles (``meetTime``,
+``future``) can answer consistently with what the executor will replay.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Tuple
+
+from ..core.data import NodeId
+from ..core.exceptions import ConfigurationError
+from ..core.interaction import Interaction, InteractionSequence
+from ..core.node import NetworkState
+
+
+class Adversary:
+    """Base class for adversaries (interaction providers)."""
+
+    #: Human-readable adversary family, one of "oblivious", "adaptive",
+    #: "randomized"; used in reports.
+    family: str = "abstract"
+
+    def interaction_at(
+        self, time: int, state: NetworkState
+    ) -> Optional[Interaction]:
+        """Return the interaction occurring at ``time`` (None if exhausted)."""
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Forget any per-execution internal state (default: nothing to do)."""
+
+    def committed_prefix(self, length: int) -> InteractionSequence:
+        """The first ``length`` interactions, for adversaries that commit.
+
+        Adaptive adversaries cannot answer this before an execution; they
+        raise :class:`ConfigurationError`.
+        """
+        raise ConfigurationError(
+            f"{type(self).__name__} does not commit to its future"
+        )
+
+
+class EventuallyPeriodicAdversary(Adversary):
+    """An oblivious adversary defined by a finite prefix and a repeated cycle.
+
+    This is how the paper's impossibility constructions describe infinite
+    sequences ("... and then repeat the following interactions forever").
+    With an empty cycle the adversary is simply a finite fixed sequence.
+    """
+
+    family = "oblivious"
+
+    def __init__(
+        self,
+        prefix: Iterable[Tuple[NodeId, NodeId]],
+        cycle: Iterable[Tuple[NodeId, NodeId]] = (),
+    ) -> None:
+        self._prefix: List[Tuple[NodeId, NodeId]] = list(prefix)
+        self._cycle: List[Tuple[NodeId, NodeId]] = list(cycle)
+
+    # -- InteractionProvider ------------------------------------------- #
+    def interaction_at(
+        self, time: int, state: NetworkState
+    ) -> Optional[Interaction]:
+        pair = self.pair_at(time)
+        if pair is None:
+            return None
+        u, v = pair
+        return Interaction(time=time, u=u, v=v)
+
+    # -- committed future ---------------------------------------------- #
+    def pair_at(self, time: int) -> Optional[Tuple[NodeId, NodeId]]:
+        """The pair interacting at ``time`` (None past a finite sequence)."""
+        if time < len(self._prefix):
+            return self._prefix[time]
+        if not self._cycle:
+            return None
+        offset = (time - len(self._prefix)) % len(self._cycle)
+        return self._cycle[offset]
+
+    def next_meeting(
+        self, node: NodeId, peer: NodeId, after: int
+    ) -> Optional[int]:
+        """Next time ``> after`` at which ``{node, peer}`` interact.
+
+        For the periodic part the answer is found within one full cycle (or
+        never).
+        """
+        target = frozenset((node, peer))
+        time = after + 1
+        # Scan the rest of the prefix.
+        while time < len(self._prefix):
+            if frozenset(self._prefix[time]) == target:
+                return time
+            time += 1
+        if not self._cycle:
+            return None
+        # Scan at most one full cycle starting from the right offset.
+        start = max(time, len(self._prefix))
+        for delta in range(len(self._cycle)):
+            candidate = start + delta
+            offset = (candidate - len(self._prefix)) % len(self._cycle)
+            if frozenset(self._cycle[offset]) == target:
+                return candidate
+        return None
+
+    def committed_prefix(self, length: int) -> InteractionSequence:
+        pairs = []
+        for time in range(length):
+            pair = self.pair_at(time)
+            if pair is None:
+                break
+            pairs.append(pair)
+        return InteractionSequence.from_pairs(pairs)
+
+    @property
+    def is_finite(self) -> bool:
+        """True when the adversary has no repeated cycle."""
+        return not self._cycle
+
+    def __len__(self) -> int:
+        if self._cycle:
+            raise ConfigurationError("eventually periodic adversary is infinite")
+        return len(self._prefix)
+
+
+class AdaptiveAdversary(Adversary):
+    """Base class for online adaptive adversaries.
+
+    Subclasses implement :meth:`interaction_at` and may inspect the network
+    state (who owns data, who has transmitted) to decide the next
+    interaction, mirroring the paper's online adaptive adversary who "can
+    use the past execution of the algorithm to construct the next
+    interaction".
+    """
+
+    family = "adaptive"

@@ -1,0 +1,153 @@
+"""Non-uniform randomized adversary (concluding remarks, question 3).
+
+The paper closes by asking whether randomized adversaries with a
+*non-uniform* interaction distribution change the Section 4 bounds (in the
+spirit of Yamauchi et al. on probabilistic schedulers).  This adversary
+draws each interaction with probability proportional to the product of the
+two endpoints' weights, which covers the natural skews:
+
+* a *popular hub* (one node, possibly the sink, with a much larger weight);
+* *Zipf-distributed* activity (a few very social nodes, a long tail);
+* the uniform adversary as the special case of equal weights.
+
+The committed-future machinery mirrors :class:`RandomizedAdversary`, so the
+``meetTime`` and ``future`` oracles stay consistent with the replayed
+interactions, and the ablation experiment (E18) can rerun the paper's
+algorithms unchanged under the skewed distribution.
+"""
+
+from __future__ import annotations
+
+import bisect
+import itertools
+import math
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.data import NodeId
+from ..core.exceptions import ConfigurationError
+from ..core.interaction import Interaction, InteractionSequence
+from ..core.node import NetworkState
+from .base import Adversary
+
+
+def zipf_weights(nodes: Sequence[NodeId], exponent: float = 1.0) -> Dict[NodeId, float]:
+    """Zipf-like activity weights: the i-th node gets weight ``1 / (i+1)^exponent``."""
+    return {
+        node: 1.0 / (index + 1) ** exponent for index, node in enumerate(nodes)
+    }
+
+
+def hub_weights(
+    nodes: Sequence[NodeId], hub: NodeId, hub_factor: float = 10.0
+) -> Dict[NodeId, float]:
+    """Equal weights except for one hub node that is ``hub_factor`` times more active."""
+    weights = {node: 1.0 for node in nodes}
+    if hub not in weights:
+        raise ConfigurationError(f"hub {hub!r} is not one of the nodes")
+    weights[hub] = hub_factor
+    return weights
+
+
+class NonUniformRandomizedAdversary(Adversary):
+    """Randomized adversary with pair probability proportional to weight products."""
+
+    family = "randomized"
+
+    def __init__(
+        self,
+        nodes: Sequence[NodeId],
+        weights: Optional[Dict[NodeId, float]] = None,
+        seed: Optional[int] = None,
+        max_horizon: int = 10_000_000,
+    ) -> None:
+        self._nodes: List[NodeId] = list(nodes)
+        if len(self._nodes) < 2:
+            raise ConfigurationError("need at least two nodes")
+        weights = weights or {node: 1.0 for node in self._nodes}
+        missing = set(self._nodes) - set(weights)
+        if missing:
+            raise ConfigurationError(
+                f"missing weights for nodes {sorted(map(repr, missing))}"
+            )
+        if any(weights[node] <= 0 for node in self._nodes):
+            raise ConfigurationError("weights must be strictly positive")
+        self._weights = {node: float(weights[node]) for node in self._nodes}
+        self._pairs: List[Tuple[NodeId, NodeId]] = list(
+            itertools.combinations(self._nodes, 2)
+        )
+        pair_weights = [
+            self._weights[u] * self._weights[v] for u, v in self._pairs
+        ]
+        total = sum(pair_weights)
+        self._cumulative: List[float] = []
+        running = 0.0
+        for weight in pair_weights:
+            running += weight / total
+            self._cumulative.append(running)
+        self._cumulative[-1] = 1.0
+        self._rng = random.Random(seed)
+        self._max_horizon = max_horizon
+        self._committed: List[Tuple[NodeId, NodeId]] = []
+        self._meeting_index: Dict[frozenset, List[int]] = {}
+
+    # ------------------------------------------------------------------ #
+    def pair_probability(self, u: NodeId, v: NodeId) -> float:
+        """The per-interaction probability of the pair ``{u, v}``."""
+        try:
+            index = self._pairs.index((u, v))
+        except ValueError:
+            index = self._pairs.index((v, u))
+        lower = self._cumulative[index - 1] if index > 0 else 0.0
+        return self._cumulative[index] - lower
+
+    def _draw_pair(self) -> Tuple[NodeId, NodeId]:
+        """Draw one pair according to the weight-product distribution."""
+        point = self._rng.random()
+        index = bisect.bisect_left(self._cumulative, point)
+        index = min(index, len(self._pairs) - 1)
+        return self._pairs[index]
+
+    def ensure_committed(self, length: int) -> None:
+        """Extend the committed sequence to at least ``length`` interactions."""
+        length = min(length, self._max_horizon)
+        while len(self._committed) < length:
+            pair = self._draw_pair()
+            time = len(self._committed)
+            self._committed.append(pair)
+            self._meeting_index.setdefault(frozenset(pair), []).append(time)
+
+    # ------------------------------------------------------------------ #
+    # InteractionProvider / committed-future protocol
+    # ------------------------------------------------------------------ #
+    def interaction_at(
+        self, time: int, state: NetworkState
+    ) -> Optional[Interaction]:
+        if time >= self._max_horizon:
+            return None
+        self.ensure_committed(time + 1)
+        u, v = self._committed[time]
+        return Interaction(time=time, u=u, v=v)
+
+    def committed_prefix(self, length: int) -> InteractionSequence:
+        self.ensure_committed(length)
+        return InteractionSequence.from_pairs(self._committed[:length])
+
+    def next_meeting(
+        self, node: NodeId, peer: NodeId, after: int
+    ) -> Optional[int]:
+        """Next committed time ``> after`` at which ``{node, peer}`` interact."""
+        key = frozenset((node, peer))
+        expected_wait = max(16, int(2.0 / max(self.pair_probability(node, peer), 1e-9)))
+        while True:
+            times = self._meeting_index.get(key, ())
+            position = bisect.bisect_right(times, after)
+            if position < len(times):
+                return times[position]
+            if len(self._committed) >= self._max_horizon:
+                return None
+            self.ensure_committed(len(self._committed) + expected_wait)
+
+    def nodes(self) -> List[NodeId]:
+        """The node set the adversary draws from."""
+        return list(self._nodes)

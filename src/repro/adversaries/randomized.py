@@ -1,0 +1,127 @@
+"""The randomized adversary of Section 4.
+
+Every interaction is a pair of nodes drawn uniformly at random among all
+``n(n-1)/2`` pairs, independently of the past.  The adversary *commits* to
+its draws: the same object answers both the executor's ``interaction_at``
+queries and the knowledge oracles' ``next_meeting`` queries, so ``meetTime``
+and ``future`` are always consistent with the interactions the executor
+replays.
+"""
+
+from __future__ import annotations
+
+import random
+from bisect import bisect_right
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.data import NodeId
+from ..core.exceptions import ConfigurationError
+from ..core.interaction import Interaction, InteractionSequence
+from ..core.node import NetworkState
+from .base import Adversary
+
+
+class RandomizedAdversary(Adversary):
+    """Uniformly random pairwise interactions with a lazily committed future.
+
+    Args:
+        nodes: the node set (must contain at least two nodes).
+        seed: RNG seed; two adversaries with the same node order and seed
+            commit to the same sequence.
+        max_horizon: safety cap on how far the committed future may be
+            extended by oracle queries (``next_meeting`` returns None beyond
+            it).  The executor's own horizon is handled separately through
+            ``max_interactions``.
+    """
+
+    family = "randomized"
+
+    def __init__(
+        self,
+        nodes: Sequence[NodeId],
+        seed: Optional[int] = None,
+        max_horizon: int = 10_000_000,
+    ) -> None:
+        self._nodes: List[NodeId] = list(nodes)
+        if len(self._nodes) < 2:
+            raise ConfigurationError("need at least two nodes")
+        self._rng = random.Random(seed)
+        self._max_horizon = max_horizon
+        self._committed: List[Tuple[NodeId, NodeId]] = []
+        # Per-node sorted list of times at which the node interacts with a
+        # given peer; only filled for pairs that are actually queried.
+        self._meeting_index: Dict[frozenset, List[int]] = {}
+
+    # ------------------------------------------------------------------ #
+    # Committed-future machinery
+    # ------------------------------------------------------------------ #
+    def _draw_pair(self) -> Tuple[NodeId, NodeId]:
+        """Draw one pair uniformly among all unordered pairs."""
+        n = len(self._nodes)
+        i = self._rng.randrange(n)
+        j = self._rng.randrange(n - 1)
+        if j >= i:
+            j += 1
+        return (self._nodes[i], self._nodes[j])
+
+    def ensure_committed(self, length: int) -> None:
+        """Extend the committed sequence to at least ``length`` interactions."""
+        if length > self._max_horizon:
+            length = self._max_horizon
+        while len(self._committed) < length:
+            pair = self._draw_pair()
+            time = len(self._committed)
+            self._committed.append(pair)
+            key = frozenset(pair)
+            self._meeting_index.setdefault(key, []).append(time)
+
+    @property
+    def committed_length(self) -> int:
+        """Number of interactions committed so far."""
+        return len(self._committed)
+
+    def committed_prefix(self, length: int) -> InteractionSequence:
+        """The first ``length`` committed interactions as a sequence."""
+        self.ensure_committed(length)
+        return InteractionSequence.from_pairs(self._committed[:length])
+
+    # ------------------------------------------------------------------ #
+    # InteractionProvider protocol
+    # ------------------------------------------------------------------ #
+    def interaction_at(
+        self, time: int, state: NetworkState
+    ) -> Optional[Interaction]:
+        if time >= self._max_horizon:
+            return None
+        self.ensure_committed(time + 1)
+        u, v = self._committed[time]
+        return Interaction(time=time, u=u, v=v)
+
+    # ------------------------------------------------------------------ #
+    # Committed-future queries (for knowledge oracles)
+    # ------------------------------------------------------------------ #
+    def next_meeting(
+        self, node: NodeId, peer: NodeId, after: int
+    ) -> Optional[int]:
+        """Next committed time ``> after`` at which ``{node, peer}`` interact.
+
+        Extends the committed future (in blocks) until the meeting is found
+        or the safety horizon is reached.
+        """
+        key = frozenset((node, peer))
+        while True:
+            times = self._meeting_index.get(key, ())
+            position = bisect_right(times, after)
+            if position < len(times):
+                return times[position]
+            if len(self._committed) >= self._max_horizon:
+                return None
+            # Extend by blocks proportional to the expected waiting time
+            # (n^2 / 2 interactions per specific pair) to amortise the cost.
+            n = len(self._nodes)
+            block = max(1024, n * n // 2)
+            self.ensure_committed(len(self._committed) + block)
+
+    def nodes(self) -> List[NodeId]:
+        """The node set the adversary draws from."""
+        return list(self._nodes)

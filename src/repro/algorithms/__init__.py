@@ -1,0 +1,37 @@
+"""The paper's DODA algorithms plus baselines, all registered by name.
+
+* :class:`Waiting` — transmit only to the sink (Theorem 9: O(n² log n)).
+* :class:`Gathering` — always transmit (Theorem 9 / Corollary 2: O(n²),
+  optimal without knowledge).
+* :class:`WaitingGreedy` — meetTime-based (Theorem 10/11: optimal with
+  ``tau = Θ(n^{3/2} √log n)``).
+* :class:`SpanningTreeAggregation` — nodes know G-bar (Theorems 4 and 5).
+* :class:`FutureBroadcast` — nodes know their own future (Theorem 6,
+  Corollary 1).
+* :class:`FullKnowledge` — nodes know the whole sequence (Theorem 8).
+* :class:`CoinFlipGathering`, :class:`RandomReceiver` — randomized baselines
+  used by the Theorem 2 construction and the comparison benches.
+"""
+
+from ..core.algorithm import registry
+from .full_knowledge import FullKnowledge
+from .future_broadcast import FutureBroadcast
+from .gathering import Gathering
+from .random_baseline import CoinFlipGathering, RandomReceiver
+from .spanning_tree import SpanningTreeAggregation, build_bfs_tree
+from .waiting import Waiting
+from .waiting_greedy import WaitingGreedy, optimal_tau
+
+__all__ = [
+    "CoinFlipGathering",
+    "FullKnowledge",
+    "FutureBroadcast",
+    "Gathering",
+    "RandomReceiver",
+    "SpanningTreeAggregation",
+    "Waiting",
+    "WaitingGreedy",
+    "build_bfs_tree",
+    "optimal_tau",
+    "registry",
+]

@@ -1,0 +1,73 @@
+"""Full-knowledge algorithm: follow the optimal offline convergecast.
+
+When every node knows the entire sequence of interactions, the best possible
+behaviour is simply to compute the optimal offline convergecast schedule and
+execute it.  Under the randomized adversary this terminates in Θ(n log n)
+interactions in expectation and with high probability (Theorem 8), which is
+the baseline every other bound in Section 4 is converted against.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Tuple
+
+from ..core.algorithm import DODAAlgorithm, KNOWLEDGE_FULL, registry
+from ..core.data import NodeId
+from ..core.exceptions import InvalidScheduleError
+from ..core.node import NodeView
+from ..offline.convergecast import build_convergecast_schedule
+from ..offline.schedule import AggregationSchedule
+
+
+@registry.register
+class FullKnowledge(DODAAlgorithm):
+    """Execute the optimal offline convergecast schedule computed from full knowledge."""
+
+    name = "full_knowledge"
+    oblivious = True
+    requires = frozenset({KNOWLEDGE_FULL})
+
+    def __init__(self) -> None:
+        self._nodes: Tuple[NodeId, ...] = ()
+        self._sink: Optional[NodeId] = None
+        self._plan: Optional[Dict[int, Tuple[NodeId, NodeId]]] = None
+        self._plan_impossible = False
+
+    def on_run_start(self, nodes: Iterable[NodeId], sink: NodeId) -> None:
+        """Reset the cached schedule for a new run."""
+        self._nodes = tuple(nodes)
+        self._sink = sink
+        self._plan = None
+        self._plan_impossible = False
+
+    def _ensure_plan(self, view: NodeView) -> None:
+        """Compute (once per run) the optimal convergecast schedule from time 0."""
+        if self._plan is not None or self._plan_impossible:
+            return
+        sequence = view.knowledge.full_sequence()
+        try:
+            schedule: AggregationSchedule = build_convergecast_schedule(
+                sequence, self._nodes, self._sink, start=0
+            )
+        except InvalidScheduleError:
+            # No convergecast fits in the committed sequence; never transmit.
+            self._plan_impossible = True
+            return
+        self._plan = {
+            transmission.time: (transmission.sender, transmission.receiver)
+            for transmission in schedule.transmissions
+        }
+
+    def decide(
+        self, first: NodeView, second: NodeView, time: int
+    ) -> Optional[NodeId]:
+        self._ensure_plan(first if first.knowledge is not None else second)
+        if self._plan is None:
+            return None
+        planned = self._plan.get(time)
+        if planned is None:
+            return None
+        sender, receiver = planned
+        if {sender, receiver} != {first.id, second.id}:
+            return None
+        return receiver

@@ -1,0 +1,36 @@
+"""The Gathering algorithm (Section 4).
+
+A node transmits whenever it can: to the sink if the sink is met, and
+otherwise to its peer (the node with the smaller identifier receives, per
+the paper's tie-breaking convention).  Under the randomized adversary it
+terminates in O(n²) interactions in expectation (Theorem 9) and this is
+optimal for algorithms without knowledge (Theorem 7 / Corollary 2).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.algorithm import DODAAlgorithm, registry
+from ..core.data import NodeId
+from ..core.node import NodeView
+
+
+@registry.register
+class Gathering(DODAAlgorithm):
+    """Always transmit: to the sink if present, otherwise to the lower-ID node."""
+
+    name = "gathering"
+    oblivious = True
+    requires = frozenset()
+
+    def decide(
+        self, first: NodeView, second: NodeView, time: int
+    ) -> Optional[NodeId]:
+        if first.is_sink:
+            return first.id
+        if second.is_sink:
+            return second.id
+        # Both nodes own data (the executor already checked); the first node
+        # (smaller identifier) receives, the second transmits.
+        return first.id

@@ -1,0 +1,33 @@
+"""The Waiting algorithm (Section 4, first oblivious algorithm).
+
+A node transmits only when it interacts with the sink.  Under the randomized
+adversary it terminates in O(n² log n) interactions in expectation
+(Theorem 9), a log-factor worse than Gathering because the last few nodes
+each wait for their own direct meeting with the sink.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.algorithm import DODAAlgorithm, registry
+from ..core.data import NodeId
+from ..core.node import NodeView
+
+
+@registry.register
+class Waiting(DODAAlgorithm):
+    """Transmit to the sink only, whenever the sink is met."""
+
+    name = "waiting"
+    oblivious = True
+    requires = frozenset()
+
+    def decide(
+        self, first: NodeView, second: NodeView, time: int
+    ) -> Optional[NodeId]:
+        if first.is_sink:
+            return first.id
+        if second.is_sink:
+            return second.id
+        return None

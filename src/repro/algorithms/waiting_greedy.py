@@ -1,0 +1,60 @@
+"""The Waiting Greedy algorithm (Section 4.3).
+
+Waiting Greedy is parameterised by a time threshold ``tau`` and uses the
+``meetTime`` oracle: during an interaction, the node whose next meeting with
+the sink is the *latest* transmits, but only if that meeting is later than
+``tau``.  After time ``tau`` the behaviour degenerates to Gathering (every
+meet time exceeds ``tau``).
+
+With ``tau = Θ(n^{3/2} √log n)`` the algorithm terminates within ``tau``
+interactions with high probability (Theorem 10 / Corollary 3) and this is
+optimal among algorithms knowing only ``meetTime`` (Theorem 11).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from ..core.algorithm import DODAAlgorithm, KNOWLEDGE_MEET_TIME, registry
+from ..core.data import NodeId
+from ..core.node import NodeView
+
+
+def optimal_tau(n: int, constant: float = 1.0) -> int:
+    """The parameter of Corollary 3: ``tau = constant * n^{3/2} sqrt(log n)``."""
+    if n < 2:
+        raise ValueError("n must be at least 2")
+    return max(1, int(math.ceil(constant * n ** 1.5 * math.sqrt(math.log(n)))))
+
+
+@registry.register
+class WaitingGreedy(DODAAlgorithm):
+    """Transmit away from the node whose sink meeting is farthest beyond ``tau``."""
+
+    name = "waiting_greedy"
+    oblivious = True
+    requires = frozenset({KNOWLEDGE_MEET_TIME})
+
+    def __init__(self, tau: int) -> None:
+        if tau < 0:
+            raise ValueError("tau must be non-negative")
+        self.tau = tau
+
+    @classmethod
+    def with_optimal_tau(cls, n: int, constant: float = 1.0) -> "WaitingGreedy":
+        """Instantiate with the optimal ``tau`` of Corollary 3 for ``n`` nodes."""
+        return cls(tau=optimal_tau(n, constant=constant))
+
+    def decide(
+        self, first: NodeView, second: NodeView, time: int
+    ) -> Optional[NodeId]:
+        m1 = first.meet_time(time)
+        m2 = second.meet_time(time)
+        if m1 <= m2 and self.tau < m2:
+            # The second node will not meet the sink before tau: it hands its
+            # data to the first node (which meets the sink sooner).
+            return first.id
+        if m1 > m2 and self.tau < m1:
+            return second.id
+        return None

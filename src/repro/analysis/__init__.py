@@ -1,0 +1,57 @@
+"""Bound functions, growth-rate fitting and statistics for the experiments."""
+
+from .bounds import (
+    BOUNDS,
+    BoundComparison,
+    broadcast_expected_exact,
+    compare_to_bound,
+    gathering_expected_exact,
+    harmonic,
+    last_transmission_expected,
+    n_log_n,
+    n_squared,
+    n_squared_log_n,
+    n_three_halves_sqrt_log_n,
+    waiting_expected_exact,
+)
+from .fitting import (
+    PowerLawFit,
+    crossover_point,
+    fit_exponent_against_bound,
+    fit_power_law,
+    ratio_drift,
+)
+from .statistics import (
+    SampleSummary,
+    chebyshev_deviation_bound,
+    fraction_within,
+    geometric_sweep,
+    high_probability_threshold,
+    summarize_sample,
+)
+
+__all__ = [
+    "BOUNDS",
+    "BoundComparison",
+    "PowerLawFit",
+    "SampleSummary",
+    "broadcast_expected_exact",
+    "chebyshev_deviation_bound",
+    "compare_to_bound",
+    "crossover_point",
+    "fit_exponent_against_bound",
+    "fit_power_law",
+    "fraction_within",
+    "gathering_expected_exact",
+    "geometric_sweep",
+    "harmonic",
+    "high_probability_threshold",
+    "last_transmission_expected",
+    "n_log_n",
+    "n_squared",
+    "n_squared_log_n",
+    "n_three_halves_sqrt_log_n",
+    "ratio_drift",
+    "summarize_sample",
+    "waiting_expected_exact",
+]

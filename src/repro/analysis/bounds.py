@@ -1,0 +1,115 @@
+"""Theoretical bound functions from the paper, as callables of ``n``.
+
+These are used by the benches and EXPERIMENTS.md to compare measured
+termination times against the claimed growth rates:
+
+* broadcast / full knowledge / future knowledge: ``Θ(n log n)``
+  (Theorem 8, Corollary 1);
+* Waiting: ``O(n² log n)`` (Theorem 9);
+* Gathering and the no-knowledge lower bound: ``Θ(n²)``
+  (Theorems 7 and 9, Corollary 2);
+* Waiting Greedy: ``Θ(n^{3/2} √log n)`` (Theorem 10, Corollary 3);
+* Lemma 1: within ``n·f(n)`` interactions, ``Θ(f(n))`` distinct nodes meet
+  the sink.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, Sequence
+
+
+def n_log_n(n: float) -> float:
+    """``n log n`` — broadcast / full-knowledge convergecast (Theorem 8)."""
+    return n * math.log(n)
+
+
+def n_squared(n: float) -> float:
+    """``n²`` — Gathering upper bound and no-knowledge lower bound (Thm 7/9)."""
+    return n * n
+
+
+def n_squared_log_n(n: float) -> float:
+    """``n² log n`` — Waiting upper bound (Theorem 9)."""
+    return n * n * math.log(n)
+
+
+def n_three_halves_sqrt_log_n(n: float) -> float:
+    """``n^{3/2} √(log n)`` — Waiting Greedy with optimal tau (Corollary 3)."""
+    return n ** 1.5 * math.sqrt(math.log(n))
+
+
+def waiting_expected_exact(n: int) -> float:
+    """Exact expectation of Waiting: ``n(n-1)/2 · H(n-1)`` (proof of Thm 9)."""
+    return n * (n - 1) / 2.0 * harmonic(n - 1)
+
+
+def gathering_expected_exact(n: int) -> float:
+    """Exact expectation of Gathering: ``n(n-1) Σ 1/(i(i+1))`` (proof of Thm 9)."""
+    return n * (n - 1) * sum(1.0 / (i * (i + 1)) for i in range(1, n))
+
+
+def broadcast_expected_exact(n: int) -> float:
+    """Exact expectation of flooding broadcast: ``(n-1) H(n-1)`` (proof of Thm 8)."""
+    return (n - 1) * harmonic(n - 1)
+
+
+def last_transmission_expected(n: int) -> float:
+    """Expected wait for one specific pair to interact: ``n(n-1)/2`` (Thm 7)."""
+    return n * (n - 1) / 2.0
+
+
+def harmonic(k: int) -> float:
+    """The harmonic number ``H(k)``."""
+    return sum(1.0 / i for i in range(1, k + 1))
+
+
+#: Name -> bound function, for table rendering.
+BOUNDS: Dict[str, Callable[[float], float]] = {
+    "n_log_n": n_log_n,
+    "n_squared": n_squared,
+    "n_squared_log_n": n_squared_log_n,
+    "n_three_halves_sqrt_log_n": n_three_halves_sqrt_log_n,
+}
+
+
+@dataclass(frozen=True)
+class BoundComparison:
+    """Measured values compared against a theoretical bound over an n sweep."""
+
+    ns: tuple
+    measured: tuple
+    bound_values: tuple
+    ratios: tuple
+    bound_name: str
+
+    @property
+    def ratio_spread(self) -> float:
+        """max ratio / min ratio — close to 1 when the bound shape matches."""
+        finite = [r for r in self.ratios if r > 0]
+        if not finite:
+            return math.inf
+        return max(finite) / min(finite)
+
+
+def compare_to_bound(
+    ns: Sequence[int],
+    measured: Sequence[float],
+    bound: Callable[[float], float],
+    bound_name: str = "bound",
+) -> BoundComparison:
+    """Compute measured / bound ratios over an ``n`` sweep."""
+    if len(ns) != len(measured):
+        raise ValueError("ns and measured must have the same length")
+    bound_values = [bound(float(n)) for n in ns]
+    ratios = [
+        (m / b if b else math.inf) for m, b in zip(measured, bound_values)
+    ]
+    return BoundComparison(
+        ns=tuple(ns),
+        measured=tuple(measured),
+        bound_values=tuple(bound_values),
+        ratios=tuple(ratios),
+        bound_name=bound_name,
+    )

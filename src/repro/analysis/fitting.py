@@ -1,0 +1,111 @@
+"""Growth-rate estimation for empirical validation of asymptotic claims.
+
+Asymptotic bounds cannot be "matched" exactly at finite ``n``; the
+reproduction instead fits the measured termination counts on a log-log scale
+and checks that the fitted exponent is close to the claimed one, and that
+the measured/bound ratio does not drift (monotone divergence would indicate
+a wrong exponent even when the point estimate looks plausible).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class PowerLawFit:
+    """Result of fitting ``y ≈ c · n^alpha`` by least squares on log-log data."""
+
+    exponent: float
+    constant: float
+    r_squared: float
+
+    def predict(self, n: float) -> float:
+        """Predicted value at ``n``."""
+        return self.constant * n ** self.exponent
+
+
+def fit_power_law(ns: Sequence[float], values: Sequence[float]) -> PowerLawFit:
+    """Fit ``values ≈ c · ns^alpha`` on a log-log scale.
+
+    Raises:
+        ValueError: with fewer than two points or non-positive data.
+    """
+    if len(ns) != len(values):
+        raise ValueError("ns and values must have the same length")
+    if len(ns) < 2:
+        raise ValueError("need at least two points to fit a power law")
+    if any(n <= 0 for n in ns) or any(v <= 0 for v in values):
+        raise ValueError("power-law fitting requires positive data")
+    log_n = np.log(np.asarray(ns, dtype=float))
+    log_y = np.log(np.asarray(values, dtype=float))
+    slope, intercept = np.polyfit(log_n, log_y, 1)
+    predictions = slope * log_n + intercept
+    residual = float(np.sum((log_y - predictions) ** 2))
+    total = float(np.sum((log_y - log_y.mean()) ** 2))
+    r_squared = 1.0 if total == 0 else 1.0 - residual / total
+    return PowerLawFit(
+        exponent=float(slope), constant=float(math.exp(intercept)), r_squared=r_squared
+    )
+
+
+def fit_exponent_against_bound(
+    ns: Sequence[float],
+    values: Sequence[float],
+    bound: Callable[[float], float],
+) -> PowerLawFit:
+    """Fit the *ratio* measured / bound to a power law.
+
+    If the bound captures the true growth, the fitted exponent of the ratio
+    is close to 0 (the ratio is asymptotically constant).  This is more
+    sensitive than fitting the raw data when the bound contains logarithmic
+    factors that a pure power law cannot represent.
+    """
+    ratios = [v / bound(float(n)) for n, v in zip(ns, values)]
+    return fit_power_law(ns, ratios)
+
+
+def ratio_drift(
+    ns: Sequence[float],
+    values: Sequence[float],
+    bound: Callable[[float], float],
+) -> float:
+    """Log-slope of measured/bound: ~0 when the bound shape is right.
+
+    Positive drift means the measurements grow faster than the bound,
+    negative drift slower.
+    """
+    return fit_exponent_against_bound(ns, values, bound).exponent
+
+
+def crossover_point(
+    ns: Sequence[float],
+    series_a: Sequence[float],
+    series_b: Sequence[float],
+) -> Optional[float]:
+    """Smallest ``n`` (interpolated) at which series A drops below series B.
+
+    Used to locate the crossovers the paper's comparative claims imply (e.g.
+    Waiting Greedy beating Gathering for large enough n).  Returns None when
+    A never drops below B on the sampled range.
+    """
+    if not (len(ns) == len(series_a) == len(series_b)):
+        raise ValueError("all series must have the same length")
+    previous: Optional[Tuple[float, float]] = None
+    for n, a, b in zip(ns, series_a, series_b):
+        difference = a - b
+        if difference <= 0:
+            if previous is None:
+                return float(n)
+            n_prev, diff_prev = previous
+            if diff_prev == difference:
+                return float(n)
+            # Linear interpolation of the sign change.
+            fraction = diff_prev / (diff_prev - difference)
+            return float(n_prev + fraction * (n - n_prev))
+        previous = (float(n), difference)
+    return None

@@ -1,0 +1,112 @@
+"""Summary statistics and concentration helpers used by the experiments.
+
+The paper's "with high probability" statements are backed by Chebyshev
+bounds; the reproduction reports empirical means, standard deviations,
+confidence intervals and tail fractions so that the concentration claims
+(e.g. "terminates within tau w.h.p.") can be checked directly.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class SampleSummary:
+    """Mean / spread summary of a sample of measurements."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    median: float
+    p90: float
+    p99: float
+
+    @property
+    def sem(self) -> float:
+        """Standard error of the mean."""
+        if self.count <= 1:
+            return 0.0
+        return self.std / math.sqrt(self.count)
+
+    def confidence_interval(self, z: float = 1.96) -> Tuple[float, float]:
+        """Normal-approximation confidence interval for the mean."""
+        half = z * self.sem
+        return (self.mean - half, self.mean + half)
+
+
+def summarize_sample(values: Sequence[float]) -> SampleSummary:
+    """Compute a :class:`SampleSummary` (raises on an empty sample)."""
+    if len(values) == 0:
+        raise ValueError("cannot summarise an empty sample")
+    array = np.asarray(values, dtype=float)
+    return SampleSummary(
+        count=int(array.size),
+        mean=float(array.mean()),
+        std=float(array.std(ddof=1)) if array.size > 1 else 0.0,
+        minimum=float(array.min()),
+        maximum=float(array.max()),
+        median=float(np.median(array)),
+        p90=float(np.percentile(array, 90)),
+        p99=float(np.percentile(array, 99)),
+    )
+
+
+def fraction_within(values: Sequence[float], threshold: float) -> float:
+    """Fraction of measurements that are ``<= threshold``.
+
+    This is the empirical counterpart of "terminates within tau with high
+    probability".
+    """
+    if len(values) == 0:
+        raise ValueError("cannot compute a fraction on an empty sample")
+    array = np.asarray(values, dtype=float)
+    return float(np.mean(array <= threshold))
+
+
+def chebyshev_deviation_bound(std: float, deviation: float) -> float:
+    """Chebyshev bound ``P(|X - E X| > deviation) <= (std/deviation)^2``."""
+    if deviation <= 0:
+        raise ValueError("deviation must be positive")
+    if std < 0:
+        raise ValueError("std must be non-negative")
+    return min(1.0, (std / deviation) ** 2)
+
+
+def high_probability_threshold(n: int) -> float:
+    """The paper's w.h.p. threshold: events of probability ``1 - o(1/log n)``.
+
+    Returns the failure-probability budget ``1 / log(n)`` used when checking
+    empirical tail fractions (a measured failure rate well below this budget
+    is consistent with the w.h.p. claim).
+    """
+    if n < 3:
+        raise ValueError("n must be at least 3")
+    return 1.0 / math.log(n)
+
+
+def geometric_sweep(start: int, stop: int, points: int) -> List[int]:
+    """A geometric progression of integers from ``start`` to ``stop`` inclusive.
+
+    Used to build ``n`` sweeps for the scaling experiments; duplicate values
+    caused by rounding are removed while preserving order.
+    """
+    if start < 1 or stop < start or points < 1:
+        raise ValueError("invalid sweep parameters")
+    if points == 1:
+        return [start]
+    ratio = (stop / start) ** (1.0 / (points - 1))
+    values: List[int] = []
+    for index in range(points):
+        value = int(round(start * ratio ** index))
+        if not values or value > values[-1]:
+            values.append(value)
+    if values[-1] != stop:
+        values[-1] = stop
+    return values

@@ -1,0 +1,121 @@
+"""Command-line interface: run experiments and single trials from a shell.
+
+Usage examples::
+
+    # list the experiments of DESIGN.md
+    python -m repro list
+
+    # run one experiment and print its markdown report
+    python -m repro run E11
+
+    # run every experiment (the content of EXPERIMENTS.md)
+    python -m repro run-all --output experiments.md
+
+    # one-off trial of an algorithm against the randomized adversary
+    python -m repro trial gathering --n 100 --seed 3
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .core.algorithm import registry
+from .experiments.registry import EXPERIMENTS, run_experiment
+from .sim.runner import run_random_trial
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser for the ``repro-doda`` entry point."""
+    parser = argparse.ArgumentParser(
+        prog="repro-doda",
+        description="Reproduction of 'Distributed Online Data Aggregation in "
+        "Dynamic Graphs' (Bramas, Masuzawa, Tixeuil, ICDCS 2016)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list available experiments and algorithms")
+
+    run_parser = subparsers.add_parser("run", help="run one experiment by id (e.g. E11)")
+    run_parser.add_argument("experiment_id", help="experiment identifier from DESIGN.md")
+    run_parser.add_argument(
+        "--output", help="write the markdown report to this file", default=None
+    )
+
+    all_parser = subparsers.add_parser("run-all", help="run every experiment")
+    all_parser.add_argument(
+        "--output", help="write the combined markdown report to this file", default=None
+    )
+
+    trial_parser = subparsers.add_parser(
+        "trial", help="run one trial of an algorithm against the randomized adversary"
+    )
+    trial_parser.add_argument("algorithm", help="registered algorithm name")
+    trial_parser.add_argument("--n", type=int, default=50, help="number of nodes")
+    trial_parser.add_argument("--seed", type=int, default=0, help="adversary seed")
+    trial_parser.add_argument(
+        "--tau", type=int, default=None, help="tau parameter (waiting_greedy only)"
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        print("Experiments:")
+        for experiment_id in sorted(EXPERIMENTS, key=lambda e: int(e[1:])):
+            print(f"  {experiment_id:4s} {EXPERIMENTS[experiment_id].claim}")
+        print("Algorithms:")
+        for name in registry.names():
+            print(f"  {name}")
+        return 0
+
+    if args.command == "run":
+        report = run_experiment(args.experiment_id)
+        text = report.to_markdown()
+        _emit(text, args.output)
+        return 0 if report.verdict else 1
+
+    if args.command == "run-all":
+        sections = []
+        all_ok = True
+        for experiment_id in sorted(EXPERIMENTS, key=lambda e: int(e[1:])):
+            report = EXPERIMENTS[experiment_id].runner()
+            sections.append(report.to_markdown())
+            all_ok = all_ok and report.verdict
+        _emit("\n\n".join(sections), args.output)
+        return 0 if all_ok else 1
+
+    if args.command == "trial":
+        kwargs = {}
+        if args.algorithm == "waiting_greedy":
+            from .algorithms.waiting_greedy import optimal_tau
+
+            kwargs["tau"] = args.tau if args.tau is not None else optimal_tau(args.n)
+        algorithm = registry.create(args.algorithm, **kwargs)
+        metrics = run_random_trial(algorithm, args.n, args.seed)
+        print(
+            f"algorithm={metrics.algorithm} n={metrics.n} terminated={metrics.terminated} "
+            f"duration={metrics.duration} transmissions={metrics.transmissions}"
+        )
+        return 0 if metrics.terminated else 1
+
+    parser.error(f"unknown command {args.command!r}")
+    return 2
+
+
+def _emit(text: str, output: Optional[str]) -> None:
+    """Print the text or write it to a file."""
+    if output:
+        with open(output, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+    else:
+        print(text)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via python -m repro
+    sys.exit(main())

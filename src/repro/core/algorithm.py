@@ -1,0 +1,135 @@
+"""The DODA algorithm interface and registry.
+
+A *distributed online data aggregation* (DODA) algorithm takes as input an
+interaction ``I_t = {u, v}`` and its time of occurrence ``t`` and outputs
+either ``u``, ``v`` or ``⊥`` (None).  The output node, if any, is the
+*receiver*: the other node transmits its data to it.  Following the paper's
+convention the interacting nodes are presented to the algorithm ordered by
+their identifiers, and the output is ignored by the executor whenever the
+two nodes do not both own data.
+
+Algorithms may additionally declare the knowledge they require (``meetTime``,
+``future``, ``underlying_graph``, ``full_knowledge``); the executor checks
+the declared requirements against the knowledge it can provide before a run
+starts, mirroring the paper's ``DODA(i1, i2, ...)`` notation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Optional, Type
+
+from .data import NodeId
+from .exceptions import ConfigurationError
+from .node import NodeView
+
+#: Knowledge identifiers understood by the executor, mirroring the paper's
+#: ``DODA(meetTime)`` / ``DODA(future)`` / ``DODA(G-bar)`` / full knowledge.
+KNOWLEDGE_MEET_TIME = "meetTime"
+KNOWLEDGE_FUTURE = "future"
+KNOWLEDGE_UNDERLYING_GRAPH = "underlying_graph"
+KNOWLEDGE_FULL = "full_knowledge"
+
+ALL_KNOWLEDGE = frozenset(
+    {
+        KNOWLEDGE_MEET_TIME,
+        KNOWLEDGE_FUTURE,
+        KNOWLEDGE_UNDERLYING_GRAPH,
+        KNOWLEDGE_FULL,
+    }
+)
+
+
+class DODAAlgorithm:
+    """Base class for distributed online data aggregation algorithms.
+
+    Subclasses implement :meth:`decide`.  Class attributes:
+
+    * ``name`` — short identifier used by the registry and the CLI;
+    * ``oblivious`` — True if the algorithm never touches node memory
+      (the paper's :math:`D^{\\emptyset}_{ODA}` class);
+    * ``requires`` — frozenset of knowledge identifiers the algorithm needs.
+    """
+
+    name: str = "abstract"
+    oblivious: bool = True
+    requires: FrozenSet[str] = frozenset()
+
+    def decide(
+        self, first: NodeView, second: NodeView, time: int
+    ) -> Optional[NodeId]:
+        """Decide the receiver for the interaction ``{first.id, second.id}``.
+
+        Args:
+            first: view of the interacting node with the smaller identifier.
+            second: view of the interacting node with the larger identifier.
+            time: the time of occurrence of the interaction.
+
+        Returns:
+            The identifier of the *receiver* (one of the two nodes), or None
+            for "no transmission".
+        """
+        raise NotImplementedError
+
+    def on_run_start(self, nodes: Iterable[NodeId], sink: NodeId) -> None:
+        """Hook called once before an execution starts.
+
+        Stateless (oblivious) algorithms normally ignore it; algorithms that
+        precompute shared deterministic structures (e.g. a spanning tree of
+        the underlying graph) may use it.
+        """
+
+    def validate_knowledge(self, available: Iterable[str]) -> None:
+        """Check that every required knowledge item is available.
+
+        Raises:
+            ConfigurationError: if a required oracle is missing.
+        """
+        missing = set(self.requires) - set(available)
+        if missing:
+            raise ConfigurationError(
+                f"algorithm {self.name!r} requires knowledge {sorted(missing)} "
+                "which the executor was not given"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} name={self.name!r}>"
+
+
+class AlgorithmRegistry:
+    """A name -> algorithm-class registry used by the CLI and experiments."""
+
+    def __init__(self) -> None:
+        self._classes: Dict[str, Type[DODAAlgorithm]] = {}
+
+    def register(self, cls: Type[DODAAlgorithm]) -> Type[DODAAlgorithm]:
+        """Register ``cls`` under its ``name`` attribute (decorator-friendly)."""
+        name = cls.name
+        if not name or name == "abstract":
+            raise ConfigurationError(
+                f"algorithm class {cls.__name__} must define a unique 'name'"
+            )
+        if name in self._classes and self._classes[name] is not cls:
+            raise ConfigurationError(f"algorithm name {name!r} already registered")
+        self._classes[name] = cls
+        return cls
+
+    def get(self, name: str) -> Type[DODAAlgorithm]:
+        """Return the algorithm class registered under ``name``."""
+        try:
+            return self._classes[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown algorithm {name!r}; available: {sorted(self._classes)}"
+            ) from None
+
+    def names(self) -> Iterable[str]:
+        """Registered algorithm names, sorted."""
+        return sorted(self._classes)
+
+    def create(self, name: str, **kwargs) -> DODAAlgorithm:
+        """Instantiate the algorithm registered under ``name``."""
+        return self.get(name)(**kwargs)
+
+
+#: The process-wide registry populated by :mod:`repro.algorithms`.
+registry = AlgorithmRegistry()

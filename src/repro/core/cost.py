@@ -1,0 +1,171 @@
+"""The paper's cost measure (Section 2.3).
+
+The *cost* of an algorithm ``A`` on a sequence ``I`` compares its duration
+against successive optimal offline convergecasts:
+
+* ``opt(t)`` — ending time of an optimal convergecast on ``I`` starting at
+  ``t`` (``∞`` if impossible);
+* ``T(1) = opt(0)``, ``T(i+1) = opt(T(i) + 1)`` — duration of ``i``
+  successive convergecasts;
+* ``cost_A(I) = min { i | duration(A, I) <= T(i) }``.
+
+An algorithm is an optimal data aggregation on ``I`` iff its cost is 1.  If
+``duration(A, I) = ∞`` the cost is the number of successive convergecasts
+that fit in ``I`` (``i_max``), or ``∞`` when infinitely many fit.
+
+All computations here are exact for finite sequences; the executor's
+``duration`` is plugged in directly.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Union
+
+from ..offline.convergecast import INFINITY, opt as offline_opt
+from .data import NodeId
+from .execution import ExecutionResult
+from .interaction import InteractionSequence
+
+Duration = Union[int, float]
+
+
+@dataclass(frozen=True)
+class CostBreakdown:
+    """Cost of a run together with the convergecast milestones used.
+
+    Attributes:
+        cost: the paper's ``cost_A(I)`` (``math.inf`` if unbounded).
+        duration: the algorithm's duration on the sequence (``math.inf`` if
+            it did not terminate).
+        milestones: the values ``T(1), T(2), ...`` computed until the cost
+            was determined (finite entries only, plus at most one ``inf``).
+    """
+
+    cost: float
+    duration: float
+    milestones: tuple
+
+
+def convergecast_milestones(
+    sequence: InteractionSequence,
+    nodes: Iterable[NodeId],
+    sink: NodeId,
+    up_to_duration: Optional[Duration] = None,
+    max_milestones: Optional[int] = None,
+) -> List[float]:
+    """Compute ``T(1), T(2), ...`` until they reach ``up_to_duration``.
+
+    The list stops at the first milestone that is ``>= up_to_duration`` (the
+    smallest ``i`` with ``duration <= T(i)`` is then known), at the first
+    infinite milestone, or after ``max_milestones`` entries.
+    """
+    node_list = list(nodes)
+    milestones: List[float] = []
+    start = 0
+    while True:
+        if max_milestones is not None and len(milestones) >= max_milestones:
+            break
+        ending = offline_opt(sequence, node_list, sink, start=start)
+        milestones.append(ending)
+        if ending == INFINITY:
+            break
+        if up_to_duration is not None and ending + 1 >= up_to_duration:
+            # duration(A, I) <= T(i) compares against the milestone's ending
+            # *time*; durations are counted in interactions, i.e. ending+1.
+            break
+        start = int(ending) + 1
+        if start >= len(sequence):
+            milestones.append(INFINITY)
+            break
+    return milestones
+
+
+def cost_of_duration(
+    duration: Optional[Duration],
+    sequence: InteractionSequence,
+    nodes: Iterable[NodeId],
+    sink: NodeId,
+    max_milestones: Optional[int] = None,
+) -> CostBreakdown:
+    """Compute ``cost_A(I)`` given the algorithm's duration on ``I``.
+
+    Args:
+        duration: number of interactions the algorithm needed (the executor's
+            ``ExecutionResult.duration``), or None / ``math.inf`` if it did
+            not terminate.
+        sequence: the sequence the algorithm ran on.
+        nodes: the node set.
+        sink: the sink node.
+        max_milestones: optional safety cap on the number of milestones.
+
+    Returns:
+        A :class:`CostBreakdown`.
+    """
+    effective_duration: float = (
+        math.inf if duration is None else float(duration)
+    )
+    milestones = convergecast_milestones(
+        sequence,
+        nodes,
+        sink,
+        up_to_duration=None if math.isinf(effective_duration) else effective_duration,
+        max_milestones=max_milestones,
+    )
+    if not math.isinf(effective_duration):
+        for index, milestone in enumerate(milestones, start=1):
+            # duration is a count of interactions, milestones are ending
+            # times (indices); duration d means the last transmission happened
+            # at time d-1, so "duration <= T(i)" is d - 1 <= T(i).
+            if effective_duration - 1 <= milestone:
+                return CostBreakdown(
+                    cost=float(index),
+                    duration=effective_duration,
+                    milestones=tuple(milestones[:index]),
+                )
+        # The loop above always terminates because milestones either reach
+        # the duration or become infinite; reaching here means the last
+        # milestone is finite but max_milestones was hit.
+        return CostBreakdown(
+            cost=math.inf,
+            duration=effective_duration,
+            milestones=tuple(milestones),
+        )
+    # Non-terminating run: cost is the number of convergecasts that fit
+    # (i_max), or infinite if convergecasts never stop fitting.
+    finite = [m for m in milestones if not math.isinf(m)]
+    if len(finite) == len(milestones):
+        # Every computed milestone is finite and the cap was hit: unbounded.
+        return CostBreakdown(
+            cost=math.inf, duration=effective_duration, milestones=tuple(milestones)
+        )
+    imax = len(finite)
+    cost = float(imax) if imax > 0 else math.inf
+    return CostBreakdown(
+        cost=cost, duration=effective_duration, milestones=tuple(milestones)
+    )
+
+
+def cost_of_result(
+    result: ExecutionResult,
+    sequence: InteractionSequence,
+    nodes: Iterable[NodeId],
+    sink: NodeId,
+    max_milestones: Optional[int] = None,
+) -> CostBreakdown:
+    """Convenience wrapper: cost of an :class:`ExecutionResult` on ``sequence``."""
+    return cost_of_duration(
+        result.duration if result.terminated else None,
+        sequence,
+        nodes,
+        sink,
+        max_milestones=max_milestones,
+    )
+
+
+def is_optimal(result: ExecutionResult, sequence: InteractionSequence,
+               nodes: Iterable[NodeId], sink: NodeId) -> bool:
+    """True iff the run achieved the paper's optimality criterion (cost = 1)."""
+    breakdown = cost_of_result(result, sequence, nodes, sink)
+    return breakdown.cost == 1.0

@@ -1,0 +1,138 @@
+"""Data tokens and aggregation functions.
+
+In the paper every node initially *originates* a datum, and an aggregation
+function combines two data into one datum of the same size (``min``, ``max``,
+``sum`` over bounded values, ...).  For the reproduction we carry the data
+explicitly so that an execution can be checked end-to-end: the sink must end
+up with the aggregate of *all* initial data, and nothing must be lost or
+duplicated.
+
+The default datum is a :class:`DataToken` carrying the *set of origin node
+identifiers*.  Aggregating two tokens unions the origin sets, so "the sink
+owns the data of the whole network" is checkable as ``token.origins ==
+set(all nodes)``.  Numeric payloads can be attached and folded with any
+associative/commutative aggregation function.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, FrozenSet, Hashable, Iterable, Optional
+
+NodeId = Hashable
+AggregationFn = Callable[[float, float], float]
+
+
+def _default_payload_fold(left: float, right: float) -> float:
+    """Default payload aggregation: sum (associative and commutative)."""
+    return left + right
+
+
+@dataclass(frozen=True)
+class DataToken:
+    """A datum owned by a node.
+
+    Attributes:
+        origins: identifiers of the nodes whose initial data has been folded
+            into this token.  The invariant maintained by the executor is
+            that origin sets of live tokens are pairwise disjoint and their
+            union is the full node set.
+        payload: a numeric value folded with the configured aggregation
+            function; defaults to 1.0 per origin, so with the default
+            ``sum`` fold the payload equals ``len(origins)``.
+    """
+
+    origins: FrozenSet[NodeId]
+    payload: float = 1.0
+
+    @classmethod
+    def initial(cls, node: NodeId, payload: float = 1.0) -> "DataToken":
+        """Create the initial datum originated by ``node``."""
+        return cls(origins=frozenset({node}), payload=payload)
+
+    def aggregate(
+        self, other: "DataToken", fold: AggregationFn = _default_payload_fold
+    ) -> "DataToken":
+        """Combine this token with ``other`` using ``fold`` on payloads.
+
+        Raises:
+            ValueError: if the two tokens share an origin, which would mean a
+                datum has been duplicated somewhere upstream.
+        """
+        if self.origins & other.origins:
+            raise ValueError(
+                "cannot aggregate tokens with overlapping origins: "
+                f"{sorted(self.origins & other.origins)!r}"
+            )
+        return DataToken(
+            origins=self.origins | other.origins,
+            payload=fold(self.payload, other.payload),
+        )
+
+    def covers(self, nodes: Iterable[NodeId]) -> bool:
+        """Return True if this token contains the data of every node in ``nodes``."""
+        return set(nodes) <= self.origins
+
+    def __len__(self) -> int:
+        return len(self.origins)
+
+
+@dataclass(frozen=True)
+class AggregationFunction:
+    """A named, associative and commutative aggregation function.
+
+    The paper only requires that the output of aggregating two data has the
+    same size as one datum; any associative/commutative fold satisfies the
+    model.  Instances are used by the executor to fold numeric payloads.
+    """
+
+    name: str
+    fold: AggregationFn
+    identity: Optional[float] = None
+
+    def __call__(self, left: float, right: float) -> float:
+        return self.fold(left, right)
+
+
+SUM = AggregationFunction("sum", lambda a, b: a + b, identity=0.0)
+MIN = AggregationFunction("min", min)
+MAX = AggregationFunction("max", max)
+COUNT = AggregationFunction("count", lambda a, b: a + b, identity=0.0)
+
+_BUILTIN: Dict[str, AggregationFunction] = {
+    fn.name: fn for fn in (SUM, MIN, MAX, COUNT)
+}
+
+
+def get_aggregation_function(name: str) -> AggregationFunction:
+    """Look up a built-in aggregation function by name.
+
+    Raises:
+        KeyError: if ``name`` is not one of ``sum``, ``min``, ``max``, ``count``.
+    """
+    try:
+        return _BUILTIN[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown aggregation function {name!r}; "
+            f"available: {sorted(_BUILTIN)}"
+        ) from None
+
+
+def is_associative_commutative(
+    fn: AggregationFn, samples: Iterable[float]
+) -> bool:
+    """Empirically check associativity and commutativity of ``fn`` on samples.
+
+    This is a testing helper (used by the property-based tests); it cannot
+    prove the property, only refute it.
+    """
+    values = list(samples)
+    for a in values:
+        for b in values:
+            if fn(a, b) != fn(b, a):
+                return False
+            for c in values:
+                if fn(fn(a, b), c) != fn(a, fn(b, c)):
+                    return False
+    return True

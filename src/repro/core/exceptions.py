@@ -1,0 +1,41 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library-specific failures without masking programming
+errors (``TypeError``, ``KeyError``, ...).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of all exceptions raised by the repro package."""
+
+
+class ModelViolationError(ReproError):
+    """An algorithm or schedule violated the DODA model.
+
+    Typical causes: a node transmitting twice, a transmission from a node
+    that no longer owns data, or an algorithm returning a node that is not
+    part of the current interaction.
+    """
+
+
+class InvalidInteractionError(ReproError):
+    """An interaction is malformed (self-loop, unknown node, bad time)."""
+
+
+class InvalidScheduleError(ReproError):
+    """An offline aggregation schedule is not valid for its sequence."""
+
+
+class KnowledgeError(ReproError):
+    """An algorithm requested knowledge that was not provided to the run."""
+
+
+class HorizonExhaustedError(ReproError):
+    """A computation needed more interactions than the available horizon."""
+
+
+class ConfigurationError(ReproError):
+    """An experiment or component was configured with inconsistent options."""

@@ -1,0 +1,174 @@
+"""Node state and the network state manipulated by the executor.
+
+Nodes in the paper have unique identifiers, unlimited memory and unlimited
+computational power; the special node ``s`` is the sink.  A node *owns data*
+until the (unique) moment it transmits; once it has transmitted it can
+neither send nor receive anymore.
+
+Two classes are provided:
+
+* :class:`NetworkState` — the authoritative state held by the executor:
+  which node owns which :class:`~repro.core.data.DataToken`, who has already
+  transmitted, and every node's private memory.
+* :class:`NodeView` — the restricted view handed to a DODA algorithm during
+  an interaction: identifier, ``isSink`` flag, data-ownership flag, the
+  node's private memory (mutable, to model persistent-memory nodes) and the
+  knowledge oracles granted to the run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Set
+
+from .data import AggregationFunction, DataToken, NodeId, SUM
+from .exceptions import ModelViolationError
+
+
+class NetworkState:
+    """Authoritative per-run state of every node.
+
+    The executor is the only writer.  Algorithms interact with the state
+    only through :class:`NodeView` objects.
+    """
+
+    def __init__(
+        self,
+        nodes: Iterable[NodeId],
+        sink: NodeId,
+        aggregation: AggregationFunction = SUM,
+        initial_payloads: Optional[Dict[NodeId, float]] = None,
+    ) -> None:
+        self.nodes: List[NodeId] = list(nodes)
+        if sink not in self.nodes:
+            raise ModelViolationError(f"sink {sink!r} is not among the nodes")
+        if len(set(self.nodes)) != len(self.nodes):
+            raise ModelViolationError("node identifiers must be unique")
+        if len(self.nodes) < 2:
+            raise ModelViolationError("a DODA instance needs at least 2 nodes")
+        self.sink: NodeId = sink
+        self.aggregation = aggregation
+        payloads = initial_payloads or {}
+        self.tokens: Dict[NodeId, Optional[DataToken]] = {
+            node: DataToken.initial(node, payload=payloads.get(node, 1.0))
+            for node in self.nodes
+        }
+        self.transmitted_at: Dict[NodeId, int] = {}
+        self.memory: Dict[NodeId, Dict[str, Any]] = {node: {} for node in self.nodes}
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    def owns_data(self, node: NodeId) -> bool:
+        """True if ``node`` still owns a datum (has not transmitted)."""
+        return self.tokens[node] is not None
+
+    def has_transmitted(self, node: NodeId) -> bool:
+        """True if ``node`` has already transmitted its datum."""
+        return node in self.transmitted_at
+
+    def owners(self) -> Set[NodeId]:
+        """The set of nodes currently owning data."""
+        return {node for node, token in self.tokens.items() if token is not None}
+
+    def token_of(self, node: NodeId) -> Optional[DataToken]:
+        """The token currently owned by ``node`` (None if transmitted)."""
+        return self.tokens[node]
+
+    def is_aggregation_complete(self) -> bool:
+        """True when the sink is the only node owning data."""
+        return self.owners() == {self.sink}
+
+    def sink_coverage(self) -> int:
+        """Number of origins folded into the sink's token."""
+        token = self.tokens[self.sink]
+        return 0 if token is None else len(token)
+
+    def remaining_data_count(self) -> int:
+        """Number of nodes (other than the sink) that still own data."""
+        return len(self.owners() - {self.sink})
+
+    # ------------------------------------------------------------------ #
+    # Mutations (executor only)
+    # ------------------------------------------------------------------ #
+    def transmit(self, sender: NodeId, receiver: NodeId, time: int) -> None:
+        """Apply the transmission ``sender -> receiver`` at ``time``.
+
+        Raises:
+            ModelViolationError: if the transmission violates the DODA model
+                (sender or receiver without data, sender is the sink, the
+                nodes are equal, or sender already transmitted).
+        """
+        if sender == receiver:
+            raise ModelViolationError("sender and receiver must differ")
+        if sender == self.sink:
+            raise ModelViolationError("the sink never transmits its data")
+        sender_token = self.tokens[sender]
+        receiver_token = self.tokens[receiver]
+        if sender_token is None:
+            raise ModelViolationError(
+                f"node {sender!r} cannot transmit at t={time}: it no longer owns data"
+            )
+        if receiver_token is None:
+            raise ModelViolationError(
+                f"node {receiver!r} cannot receive at t={time}: it already transmitted"
+            )
+        self.tokens[receiver] = receiver_token.aggregate(
+            sender_token, fold=self.aggregation.fold
+        )
+        self.tokens[sender] = None
+        self.transmitted_at[sender] = time
+
+    def view(self, node: NodeId, knowledge: "Any" = None) -> "NodeView":
+        """Build the algorithm-facing view of ``node``."""
+        return NodeView(
+            id=node,
+            is_sink=node == self.sink,
+            owns_data=self.owns_data(node),
+            memory=self.memory[node],
+            knowledge=knowledge,
+        )
+
+
+@dataclass
+class NodeView:
+    """The restricted view of a node handed to a DODA algorithm.
+
+    Attributes:
+        id: the node identifier (``u.ID`` in the paper).
+        is_sink: the ``u.isSink`` flag.
+        owns_data: whether the node still owns a datum.
+        memory: the node's private persistent memory.  Oblivious algorithms
+            must not read or write it; the executor can enforce this.
+        knowledge: the knowledge oracles granted to the run (may be None).
+    """
+
+    id: NodeId
+    is_sink: bool
+    owns_data: bool
+    memory: Dict[str, Any] = field(default_factory=dict)
+    knowledge: Any = None
+
+    def meet_time(self, t: int) -> int:
+        """``u.meetTime(t)``: time of the next interaction with the sink after ``t``.
+
+        Requires the ``meetTime`` knowledge oracle.  For the sink itself the
+        paper defines ``meetTime`` as the identity.
+        """
+        if self.is_sink:
+            return t
+        if self.knowledge is None or not hasattr(self.knowledge, "meet_time"):
+            from .exceptions import KnowledgeError
+
+            raise KnowledgeError(
+                f"node {self.id!r} has no meetTime oracle in this run"
+            )
+        return self.knowledge.meet_time(self.id, t)
+
+    def future(self) -> Any:
+        """``u.future``: the node's future interactions with their times."""
+        if self.knowledge is None or not hasattr(self.knowledge, "future"):
+            from .exceptions import KnowledgeError
+
+            raise KnowledgeError(f"node {self.id!r} has no future oracle in this run")
+        return self.knowledge.future(self.id)

@@ -1,0 +1,51 @@
+"""Per-theorem experiments (see DESIGN.md section 3 for the index)."""
+
+from .comparison import algorithm_lineup, run_comparison
+from .extensions import (
+    run_nonuniform_adversary,
+    run_offline_crosscheck,
+    run_tau_tradeoff,
+    run_tree_order_ablation,
+)
+from .impossibility import run_theorem1, run_theorem2, run_theorem3
+from .knowledge import run_theorem4, run_theorem5, run_theorem6
+from .randomized import (
+    run_corollary1,
+    run_cost_conversion,
+    run_lemma1,
+    run_theorem10,
+    run_theorem11,
+    run_theorem7,
+    run_theorem8,
+    run_theorem9_gathering,
+    run_theorem9_waiting,
+)
+from .registry import EXPERIMENTS, ExperimentSpec, run_all, run_experiment
+
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentSpec",
+    "algorithm_lineup",
+    "run_all",
+    "run_comparison",
+    "run_corollary1",
+    "run_cost_conversion",
+    "run_experiment",
+    "run_lemma1",
+    "run_nonuniform_adversary",
+    "run_offline_crosscheck",
+    "run_tau_tradeoff",
+    "run_theorem1",
+    "run_tree_order_ablation",
+    "run_theorem10",
+    "run_theorem11",
+    "run_theorem2",
+    "run_theorem3",
+    "run_theorem4",
+    "run_theorem5",
+    "run_theorem6",
+    "run_theorem7",
+    "run_theorem8",
+    "run_theorem9_gathering",
+    "run_theorem9_waiting",
+]

@@ -1,0 +1,88 @@
+"""Registry of all experiments, keyed by their DESIGN.md identifier."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from ..sim.results import ExperimentReport
+from .comparison import run_comparison
+from .extensions import (
+    run_nonuniform_adversary,
+    run_offline_crosscheck,
+    run_tau_tradeoff,
+    run_tree_order_ablation,
+)
+from .impossibility import run_theorem1, run_theorem2, run_theorem3
+from .knowledge import run_theorem4, run_theorem5, run_theorem6
+from .randomized import (
+    run_corollary1,
+    run_cost_conversion,
+    run_lemma1,
+    run_theorem10,
+    run_theorem11,
+    run_theorem7,
+    run_theorem8,
+    run_theorem9_gathering,
+    run_theorem9_waiting,
+)
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One runnable experiment: identifier, claim, and the callable."""
+
+    experiment_id: str
+    claim: str
+    runner: Callable[..., ExperimentReport]
+
+
+EXPERIMENTS: Dict[str, ExperimentSpec] = {
+    spec.experiment_id: spec
+    for spec in (
+        ExperimentSpec("E1", "Theorem 1 (adaptive adversary, no knowledge)", run_theorem1),
+        ExperimentSpec("E2", "Theorem 2 (oblivious adversary, randomized algorithms)", run_theorem2),
+        ExperimentSpec("E3", "Theorem 3 (underlying graph knowledge insufficient)", run_theorem3),
+        ExperimentSpec("E4", "Theorem 4 (recurrent interactions, finite unbounded cost)", run_theorem4),
+        ExperimentSpec("E5", "Theorem 5 (tree footprint, optimal)", run_theorem5),
+        ExperimentSpec("E6", "Theorem 6 (own future, cost <= n)", run_theorem6),
+        ExperimentSpec("E7", "Theorem 7 (Ω(n²) lower bound)", run_theorem7),
+        ExperimentSpec("E8", "Theorem 8 (full knowledge Θ(n log n))", run_theorem8),
+        ExperimentSpec("E9", "Corollary 1 (future knowledge Θ(n log n))", run_corollary1),
+        ExperimentSpec("E10", "Theorem 9 (Waiting O(n² log n))", run_theorem9_waiting),
+        ExperimentSpec("E11", "Theorem 9 / Corollary 2 (Gathering O(n²), optimal)", run_theorem9_gathering),
+        ExperimentSpec("E12", "Lemma 1 (sink meetings within n·f(n))", run_lemma1),
+        ExperimentSpec("E13", "Theorem 10 / Corollary 3 (Waiting Greedy w.h.p. by tau)", run_theorem10),
+        ExperimentSpec("E14", "Theorem 11 (Waiting Greedy optimal with meetTime)", run_theorem11),
+        ExperimentSpec("E15", "Section 4 cost conversion (cost O(n/log n))", run_cost_conversion),
+        ExperimentSpec("E16", "Algorithm comparison across n", run_comparison),
+        ExperimentSpec("E17", "Ablation: offline optimum vs exhaustive search", run_offline_crosscheck),
+        ExperimentSpec("E18", "Extension: non-uniform randomized adversary (Q3)", run_nonuniform_adversary),
+        ExperimentSpec("E19", "Ablation: Waiting Greedy tau trade-off (Theorem 10)", run_tau_tradeoff),
+        ExperimentSpec("E20", "Ablation: spanning-tree edge-order robustness", run_tree_order_ablation),
+    )
+}
+
+
+def run_experiment(experiment_id: str, **kwargs) -> ExperimentReport:
+    """Run one experiment by identifier (kwargs forwarded to its runner)."""
+    try:
+        spec = EXPERIMENTS[experiment_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; available: {sorted(EXPERIMENTS)}"
+        ) from None
+    return spec.runner(**kwargs)
+
+
+def run_all(**kwargs) -> List[ExperimentReport]:
+    """Run every experiment with default parameters, in identifier order."""
+    reports: List[ExperimentReport] = []
+    for experiment_id in sorted(EXPERIMENTS, key=_experiment_sort_key):
+        reports.append(EXPERIMENTS[experiment_id].runner())
+    return reports
+
+
+def _experiment_sort_key(experiment_id: str) -> int:
+    """Numeric ordering of identifiers like 'E7', 'E12'."""
+    return int(experiment_id.lstrip("E"))

@@ -1,0 +1,170 @@
+"""Time-respecting journeys in interaction sequences.
+
+A *journey* from ``u`` to ``v`` is a sequence of interactions with strictly
+increasing times whose endpoints chain from ``u`` to ``v``.  Journeys are the
+temporal analogue of paths and underpin both the offline optimum (a
+convergecast within a window exists iff every node has a journey to the sink
+inside the window) and several impossibility arguments.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..core.data import NodeId
+from ..core.interaction import Interaction, InteractionSequence
+
+
+@dataclass(frozen=True)
+class Journey:
+    """An explicit time-respecting path: the hops in chronological order."""
+
+    source: NodeId
+    target: NodeId
+    hops: Tuple[Interaction, ...]
+
+    @property
+    def departure(self) -> Optional[int]:
+        """Time of the first hop (None for the empty journey)."""
+        return self.hops[0].time if self.hops else None
+
+    @property
+    def arrival(self) -> Optional[int]:
+        """Time of the last hop (None for the empty journey)."""
+        return self.hops[-1].time if self.hops else None
+
+    def __len__(self) -> int:
+        return len(self.hops)
+
+    def is_valid(self) -> bool:
+        """Check the chaining and strict time increase of the hops."""
+        current = self.source
+        last_time = -1
+        for hop in self.hops:
+            if not hop.involves(current):
+                return False
+            if hop.time <= last_time:
+                return False
+            last_time = hop.time
+            current = hop.other(current)
+        return current == self.target or (not self.hops and self.source == self.target)
+
+
+def earliest_arrivals_from(
+    sequence: InteractionSequence,
+    source: NodeId,
+    nodes: Iterable[NodeId],
+    start: int = 0,
+) -> Dict[NodeId, float]:
+    """Foremost (earliest-arrival) journey times from ``source`` to every node.
+
+    A single forward sweep: when the interaction ``{u, v}`` occurs at time
+    ``t`` and ``u`` is already reachable strictly before ``t`` (or is the
+    source), then ``v`` becomes reachable at ``t`` (and vice versa).  The
+    source is reachable at ``start - 1`` by convention.
+    """
+    arrivals: Dict[NodeId, float] = {node: math.inf for node in nodes}
+    arrivals[source] = start - 1
+    for index in range(start, len(sequence)):
+        interaction = sequence[index]
+        u, v = interaction.u, interaction.v
+        time = interaction.time
+        if arrivals.get(u, math.inf) < time and arrivals.get(v, math.inf) > time:
+            arrivals[v] = time
+        if arrivals.get(v, math.inf) < time and arrivals.get(u, math.inf) > time:
+            arrivals[u] = time
+    return arrivals
+
+
+def foremost_journey(
+    sequence: InteractionSequence,
+    source: NodeId,
+    target: NodeId,
+    start: int = 0,
+) -> Optional[Journey]:
+    """An explicit foremost journey from ``source`` to ``target`` (or None).
+
+    The journey is reconstructed by recording, for every node, the hop that
+    first reached it during the forward sweep.
+    """
+    if source == target:
+        return Journey(source=source, target=target, hops=())
+    best_time: Dict[NodeId, float] = {source: start - 1}
+    via: Dict[NodeId, Tuple[NodeId, Interaction]] = {}
+    for index in range(start, len(sequence)):
+        interaction = sequence[index]
+        u, v = interaction.u, interaction.v
+        time = interaction.time
+        for a, b in ((u, v), (v, u)):
+            if best_time.get(a, math.inf) < time and time < best_time.get(b, math.inf):
+                best_time[b] = time
+                via[b] = (a, interaction)
+                if b == target:
+                    hops: List[Interaction] = []
+                    node = target
+                    while node != source:
+                        parent, hop = via[node]
+                        hops.append(hop)
+                        node = parent
+                    hops.reverse()
+                    return Journey(source=source, target=target, hops=tuple(hops))
+    return None
+
+
+def journey_exists(
+    sequence: InteractionSequence,
+    source: NodeId,
+    target: NodeId,
+    start: int = 0,
+    end: Optional[int] = None,
+) -> bool:
+    """True if a journey from ``source`` to ``target`` exists in ``[start, end]``."""
+    limit = len(sequence) if end is None else min(end + 1, len(sequence))
+    best_time: Dict[NodeId, float] = {source: start - 1}
+    for index in range(start, limit):
+        interaction = sequence[index]
+        u, v = interaction.u, interaction.v
+        time = interaction.time
+        for a, b in ((u, v), (v, u)):
+            if best_time.get(a, math.inf) < time and time < best_time.get(b, math.inf):
+                best_time[b] = time
+                if b == target:
+                    return True
+    return target == source
+
+
+def temporal_reachability_matrix(
+    sequence: InteractionSequence,
+    nodes: Iterable[NodeId],
+    start: int = 0,
+) -> Dict[NodeId, Set[NodeId]]:
+    """For every node, the set of nodes its data could reach via a journey."""
+    node_list = list(nodes)
+    reachable: Dict[NodeId, Set[NodeId]] = {}
+    for source in node_list:
+        arrivals = earliest_arrivals_from(sequence, source, node_list, start=start)
+        reachable[source] = {
+            node for node, time in arrivals.items() if not math.isinf(time)
+        }
+    return reachable
+
+
+def is_temporally_connected_to(
+    sequence: InteractionSequence,
+    nodes: Iterable[NodeId],
+    target: NodeId,
+    start: int = 0,
+) -> bool:
+    """True if every node has a journey to ``target`` within the sequence.
+
+    This is exactly the condition for an offline convergecast towards
+    ``target`` (the sink) to exist.
+    """
+    node_list = list(nodes)
+    return all(
+        journey_exists(sequence, node, target, start=start)
+        for node in node_list
+        if node != target
+    )

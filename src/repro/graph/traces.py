@@ -1,0 +1,238 @@
+"""Synthetic contact-trace substrates.
+
+The paper's introduction motivates the model with "sensors deployed on a
+human body, cars evolving in a city that communicate with each other in an
+ad hoc manner".  No real traces accompany the paper, so this module builds
+the closest synthetic equivalents: mobility and contact generators whose
+output is reduced to the paper's pairwise-interaction sequence.  They are
+used by the example applications and by the robustness experiments (how the
+algorithms behave when the adversary is *not* uniformly random).
+
+Three substrates are provided:
+
+* :class:`BodyAreaNetworkTrace` — a small set of on-body sensors with a hub
+  (the sink); contacts follow a periodic schedule perturbed by posture
+  changes (some links are unavailable during certain activity phases).
+* :class:`RandomWaypointTrace` — nodes move in a square arena following the
+  random-waypoint mobility model; two nodes interact when they come within
+  communication range, and simultaneous contacts are serialised.
+* :class:`VehicularGridTrace` — vehicles move along a Manhattan grid;
+  contacts happen between vehicles on the same road segment, plus with
+  a road-side unit (the sink) at a fixed intersection.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..core.data import NodeId
+from ..core.exceptions import ConfigurationError
+from ..core.interaction import InteractionSequence
+from .dynamic_graph import DynamicGraph
+
+
+@dataclass
+class BodyAreaNetworkTrace:
+    """Periodic on-body sensor contacts with activity-dependent outages.
+
+    Args:
+        sensor_count: number of sensors excluding the hub.
+        phases: number of activity phases; during phase ``p`` the sensors
+            with ``index % phases == p`` cannot reach the hub directly and
+            must relay through a neighbouring sensor.
+        cycles: how many full activity cycles to generate.
+        seed: RNG seed for the small jitter applied to contact order.
+    """
+
+    sensor_count: int = 8
+    phases: int = 3
+    cycles: int = 20
+    seed: Optional[int] = None
+
+    HUB: NodeId = "hub"
+
+    def nodes(self) -> List[NodeId]:
+        """The hub plus the sensors ``sensor-0 .. sensor-k``."""
+        return [self.HUB] + [f"sensor-{i}" for i in range(self.sensor_count)]
+
+    def build(self) -> DynamicGraph:
+        """Generate the contact sequence and wrap it as a dynamic graph."""
+        if self.sensor_count < 2:
+            raise ConfigurationError("need at least two sensors")
+        rng = random.Random(self.seed)
+        sensors = [f"sensor-{i}" for i in range(self.sensor_count)]
+        pairs: List[Tuple[NodeId, NodeId]] = []
+        for cycle in range(self.cycles):
+            phase = cycle % self.phases
+            contacts: List[Tuple[NodeId, NodeId]] = []
+            for index, sensor in enumerate(sensors):
+                blocked = index % self.phases == phase
+                if blocked:
+                    # Relay through the next sensor instead of the hub.
+                    relay = sensors[(index + 1) % self.sensor_count]
+                    contacts.append((sensor, relay))
+                else:
+                    contacts.append((sensor, self.HUB))
+            rng.shuffle(contacts)
+            pairs.extend(contacts)
+        return DynamicGraph.create(self.nodes(), self.HUB, pairs)
+
+
+@dataclass
+class RandomWaypointTrace:
+    """Random-waypoint mobility in a unit square reduced to contacts.
+
+    Nodes pick a random destination and speed, move towards it, and repeat.
+    At every sampling step, each pair of nodes within ``radio_range`` is in
+    contact; contacts of a step are serialised in random order (the standard
+    reduction from evolving graphs to the pairwise-interaction model).
+    The sink is node 0, which is static at the centre of the arena
+    (modelling a collection point).
+    """
+
+    node_count: int = 20
+    steps: int = 300
+    radio_range: float = 0.18
+    speed_range: Tuple[float, float] = (0.02, 0.06)
+    seed: Optional[int] = None
+    sink_static: bool = True
+
+    def nodes(self) -> List[int]:
+        """Node identifiers ``0..node_count-1`` (0 is the sink)."""
+        return list(range(self.node_count))
+
+    def build(self) -> DynamicGraph:
+        """Simulate the mobility and return the contact dynamic graph."""
+        if self.node_count < 2:
+            raise ConfigurationError("need at least two nodes")
+        rng = random.Random(self.seed)
+        positions: Dict[int, Tuple[float, float]] = {}
+        destinations: Dict[int, Tuple[float, float]] = {}
+        speeds: Dict[int, float] = {}
+        for node in self.nodes():
+            positions[node] = (rng.random(), rng.random())
+            destinations[node] = (rng.random(), rng.random())
+            speeds[node] = rng.uniform(*self.speed_range)
+        if self.sink_static:
+            positions[0] = (0.5, 0.5)
+            destinations[0] = (0.5, 0.5)
+            speeds[0] = 0.0
+
+        pairs: List[Tuple[int, int]] = []
+        for _ in range(self.steps):
+            self._advance(positions, destinations, speeds, rng)
+            contacts = self._contacts(positions)
+            rng.shuffle(contacts)
+            pairs.extend(contacts)
+        return DynamicGraph.create(self.nodes(), 0, pairs)
+
+    def _advance(
+        self,
+        positions: Dict[int, Tuple[float, float]],
+        destinations: Dict[int, Tuple[float, float]],
+        speeds: Dict[int, float],
+        rng: random.Random,
+    ) -> None:
+        """Move every node one step towards its destination."""
+        for node in positions:
+            if self.sink_static and node == 0:
+                continue
+            x, y = positions[node]
+            dx, dy = destinations[node]
+            distance = math.hypot(dx - x, dy - y)
+            step = speeds[node]
+            if distance <= step or distance == 0.0:
+                positions[node] = destinations[node]
+                destinations[node] = (rng.random(), rng.random())
+                speeds[node] = rng.uniform(*self.speed_range)
+            else:
+                ratio = step / distance
+                positions[node] = (x + (dx - x) * ratio, y + (dy - y) * ratio)
+
+    def _contacts(
+        self, positions: Dict[int, Tuple[float, float]]
+    ) -> List[Tuple[int, int]]:
+        """All pairs currently within radio range."""
+        contacts: List[Tuple[int, int]] = []
+        nodes = sorted(positions)
+        for i, u in enumerate(nodes):
+            for v in nodes[i + 1 :]:
+                ux, uy = positions[u]
+                vx, vy = positions[v]
+                if math.hypot(ux - vx, uy - vy) <= self.radio_range:
+                    contacts.append((u, v))
+        return contacts
+
+
+@dataclass
+class VehicularGridTrace:
+    """Vehicles on a Manhattan grid with a road-side unit as the sink.
+
+    Vehicles move one grid cell per step along the streets (random turns at
+    intersections).  Two vehicles in the same cell are in contact; the
+    road-side unit sits at the central intersection and contacts every
+    vehicle passing through it.
+    """
+
+    vehicle_count: int = 15
+    grid_size: int = 6
+    steps: int = 400
+    seed: Optional[int] = None
+
+    RSU: NodeId = "rsu"
+
+    def nodes(self) -> List[NodeId]:
+        """The road-side unit plus vehicles ``car-0 .. car-k``."""
+        return [self.RSU] + [f"car-{i}" for i in range(self.vehicle_count)]
+
+    def build(self) -> DynamicGraph:
+        """Simulate the grid mobility and return the contact dynamic graph."""
+        if self.vehicle_count < 2:
+            raise ConfigurationError("need at least two vehicles")
+        if self.grid_size < 2:
+            raise ConfigurationError("grid must be at least 2x2")
+        rng = random.Random(self.seed)
+        vehicles = [f"car-{i}" for i in range(self.vehicle_count)]
+        center = (self.grid_size // 2, self.grid_size // 2)
+        positions: Dict[NodeId, Tuple[int, int]] = {
+            vehicle: (rng.randrange(self.grid_size), rng.randrange(self.grid_size))
+            for vehicle in vehicles
+        }
+        pairs: List[Tuple[NodeId, NodeId]] = []
+        for _ in range(self.steps):
+            for vehicle in vehicles:
+                positions[vehicle] = self._move(positions[vehicle], rng)
+            contacts: List[Tuple[NodeId, NodeId]] = []
+            cells: Dict[Tuple[int, int], List[NodeId]] = {}
+            for vehicle, cell in positions.items():
+                cells.setdefault(cell, []).append(vehicle)
+            for cell, occupants in cells.items():
+                occupants.sort()
+                for i, u in enumerate(occupants):
+                    for v in occupants[i + 1 :]:
+                        contacts.append((u, v))
+                if cell == center:
+                    for vehicle in occupants:
+                        contacts.append((vehicle, self.RSU))
+            rng.shuffle(contacts)
+            pairs.extend(contacts)
+        return DynamicGraph.create(self.nodes(), self.RSU, pairs)
+
+    def _move(
+        self, cell: Tuple[int, int], rng: random.Random
+    ) -> Tuple[int, int]:
+        """Move to a uniformly random neighbouring grid cell."""
+        x, y = cell
+        options = []
+        if x > 0:
+            options.append((x - 1, y))
+        if x < self.grid_size - 1:
+            options.append((x + 1, y))
+        if y > 0:
+            options.append((x, y - 1))
+        if y < self.grid_size - 1:
+            options.append((x, y + 1))
+        return options[rng.randrange(len(options))]

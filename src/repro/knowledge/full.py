@@ -1,0 +1,24 @@
+"""Full knowledge: every node knows the entire sequence of interactions.
+
+This is the strongest knowledge considered by the paper (Theorem 8): with it
+the best possible algorithm terminates in Θ(n log n) interactions under the
+randomized adversary, because it can simply follow the optimal offline
+convergecast schedule.
+"""
+
+from __future__ import annotations
+
+from ..core.interaction import InteractionSequence
+
+
+class FullKnowledge:
+    """Oracle exposing the complete committed interaction sequence."""
+
+    knowledge_name = "full_knowledge"
+
+    def __init__(self, sequence: InteractionSequence) -> None:
+        self._sequence = sequence
+
+    def full_sequence(self) -> InteractionSequence:
+        """The entire committed sequence."""
+        return self._sequence

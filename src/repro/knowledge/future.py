@@ -1,0 +1,43 @@
+"""The ``future`` oracle of Section 3.3 (a node knows its own future).
+
+``u.future`` is the sequence of interactions involving ``u`` together with
+their times of occurrence.  The oracle is backed by a finite committed
+sequence; Theorem 6 and Corollary 1 only require each node's own future, so
+the oracle refuses to answer for nodes other than the one being queried at
+the algorithm level (the gossiping of futures between nodes is done by the
+algorithms themselves through node memory, as in the paper's proof).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..core.data import NodeId
+from ..core.interaction import InteractionSequence
+
+
+class FutureKnowledge:
+    """Oracle answering ``u.future`` queries from a committed finite sequence."""
+
+    knowledge_name = "future"
+
+    def __init__(self, sequence: InteractionSequence) -> None:
+        self._sequence = sequence
+        self._cache: Dict[NodeId, List[Tuple[int, NodeId]]] = {}
+
+    def future(self, node: NodeId) -> List[Tuple[int, NodeId]]:
+        """All interactions of ``node`` as ``(time, peer)`` pairs, ascending."""
+        cached = self._cache.get(node)
+        if cached is None:
+            cached = [
+                (interaction.time, interaction.other(node))
+                for interaction in self._sequence
+                if interaction.involves(node)
+            ]
+            self._cache[node] = cached
+        return list(cached)
+
+    @property
+    def sequence(self) -> InteractionSequence:
+        """The committed sequence backing this oracle."""
+        return self._sequence

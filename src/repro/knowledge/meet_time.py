@@ -1,0 +1,77 @@
+"""The ``meetTime`` oracle of Section 2.1 / 4.3.
+
+``u.meetTime(t)`` is the smallest time ``t' > t`` such that ``I_{t'} = {u, s}``
+(the node's next interaction with the sink); for the sink itself it is the
+identity.  The oracle is backed by any *committed-future source*: a finite
+:class:`~repro.core.interaction.InteractionSequence`, or an adversary object
+exposing ``next_meeting(node, peer, after)`` over a future it has committed
+to (the randomized adversary pre-draws its interactions lazily and answers
+consistently with what the executor will replay).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Protocol
+
+from ..core.data import NodeId
+from ..core.exceptions import HorizonExhaustedError
+
+
+class CommittedFutureSource(Protocol):
+    """Anything that can answer next-meeting queries about a committed future."""
+
+    def next_meeting(
+        self, node: NodeId, peer: NodeId, after: int
+    ) -> Optional[int]:
+        """Smallest time ``t' > after`` with ``I_{t'} = {node, peer}`` or None."""
+        ...
+
+
+class MeetTimeKnowledge:
+    """Oracle answering ``u.meetTime(t)`` queries.
+
+    Args:
+        source: the committed-future source to query.
+        sink: the sink node identifier.
+        horizon: optional cap; queries whose answer would exceed the horizon
+            raise :class:`HorizonExhaustedError` if ``strict`` is True, and
+            otherwise return ``horizon`` itself (a sentinel "far in the
+            future" value, convenient for Waiting Greedy whose behaviour only
+            depends on comparisons against ``tau <= horizon``).
+        strict: see ``horizon``.
+    """
+
+    knowledge_name = "meetTime"
+
+    def __init__(
+        self,
+        source: CommittedFutureSource,
+        sink: NodeId,
+        horizon: Optional[int] = None,
+        strict: bool = False,
+    ) -> None:
+        self._source = source
+        self._sink = sink
+        self._horizon = horizon
+        self._strict = strict
+
+    def meet_time(self, node: NodeId, t: int) -> int:
+        """Return the node's next interaction time with the sink after ``t``."""
+        if node == self._sink:
+            return t
+        answer = self._source.next_meeting(node, self._sink, t)
+        if answer is None or (self._horizon is not None and answer > self._horizon):
+            if self._strict:
+                raise HorizonExhaustedError(
+                    f"meetTime({node!r}, {t}) exceeds the committed horizon"
+                )
+            # "Never (within the horizon)" is reported as the horizon itself,
+            # which is strictly larger than any tau used by Waiting Greedy.
+            fallback = self._horizon
+            if fallback is None:
+                raise HorizonExhaustedError(
+                    f"meetTime({node!r}, {t}) is undefined: the committed "
+                    "future is finite and no horizon fallback was configured"
+                )
+            return fallback
+        return answer

@@ -1,0 +1,51 @@
+"""The underlying-graph oracle of Section 3.2 (nodes know G-bar).
+
+G-bar is the static graph whose edges are the pairs of nodes interacting at
+least once in the whole sequence.  The oracle can be built either from an
+explicit edge list (useful for adaptive adversaries that commit to a
+footprint without committing to the sequence) or from a committed finite
+sequence.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, Optional, Set, Tuple
+
+import networkx as nx
+
+from ..core.data import NodeId
+from ..core.interaction import InteractionSequence
+
+
+class UnderlyingGraphKnowledge:
+    """Oracle exposing the underlying graph G-bar as a networkx graph."""
+
+    knowledge_name = "underlying_graph"
+
+    def __init__(
+        self,
+        nodes: Iterable[NodeId],
+        edges: Optional[Iterable[Tuple[NodeId, NodeId]]] = None,
+        sequence: Optional[InteractionSequence] = None,
+    ) -> None:
+        if (edges is None) == (sequence is None):
+            raise ValueError("provide exactly one of 'edges' or 'sequence'")
+        graph = nx.Graph()
+        graph.add_nodes_from(nodes)
+        if edges is not None:
+            graph.add_edges_from(edges)
+        else:
+            assert sequence is not None
+            for pair in sequence.footprint_edges():
+                u, v = tuple(pair)
+                graph.add_edge(u, v)
+        self._graph = graph
+
+    def underlying_graph(self) -> nx.Graph:
+        """A copy of G-bar (copies are cheap and keep the oracle immutable)."""
+        return self._graph.copy()
+
+    @property
+    def edge_set(self) -> Set[FrozenSet[NodeId]]:
+        """The edges of G-bar as a set of unordered pairs."""
+        return {frozenset(edge) for edge in self._graph.edges()}

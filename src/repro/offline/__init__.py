@@ -1,0 +1,39 @@
+"""Offline optimal data aggregation (convergecast) on interaction sequences.
+
+The cost model of the paper (Section 2.3) compares an online algorithm
+against *successive convergecasts* performed by an optimal offline algorithm
+that knows the whole sequence.  This package computes those optima exactly:
+
+* :func:`~repro.offline.convergecast.foremost_arrival_times` — earliest time
+  each node's data can reach the sink via a time-respecting journey;
+* :func:`~repro.offline.convergecast.opt` — the paper's ``opt(t)``: the
+  ending time of an optimal convergecast starting at time ``t``;
+* :func:`~repro.offline.convergecast.build_convergecast_schedule` — an
+  explicit optimal :class:`~repro.offline.schedule.AggregationSchedule`;
+* :func:`~repro.offline.broadcast.broadcast_completion_time` — flooding
+  completion used by the broadcast/convergecast duality (Theorem 8).
+"""
+
+from .broadcast import broadcast_completion_time, broadcast_informed_sets
+from .brute_force import brute_force_opt, brute_force_schedule_exists
+from .convergecast import (
+    build_convergecast_schedule,
+    convergecast_possible,
+    foremost_arrival_times,
+    opt,
+)
+from .schedule import AggregationSchedule, ScheduledTransmission, validate_schedule
+
+__all__ = [
+    "AggregationSchedule",
+    "ScheduledTransmission",
+    "broadcast_completion_time",
+    "broadcast_informed_sets",
+    "brute_force_opt",
+    "brute_force_schedule_exists",
+    "build_convergecast_schedule",
+    "convergecast_possible",
+    "foremost_arrival_times",
+    "opt",
+    "validate_schedule",
+]

@@ -1,0 +1,92 @@
+"""Brute-force offline optimum, used as a correctness cross-check.
+
+The fast offline optimum (:mod:`repro.offline.convergecast`) relies on the
+journey/flooding duality.  This module computes the same quantity by
+explicit search over *all* legal transmission choices, which is exponential
+in the number of nodes and therefore only usable on small instances — which
+is exactly what is needed to validate the fast path (see the ablation
+experiment E17 and the property-based cross-check test).
+
+The key observation that makes the search state small is that the identity
+of the data a node carries never constrains future moves: a run completes
+exactly when every non-sink node has transmitted, and a transmission
+``u -> v`` at time ``t`` is legal iff ``I_t = {u, v}`` and neither ``u`` nor
+``v`` has transmitted yet.  The search state is therefore just the set of
+nodes that have already transmitted.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from ..core.data import NodeId
+from ..core.interaction import InteractionSequence
+
+
+def brute_force_opt(
+    sequence: InteractionSequence,
+    nodes: Iterable[NodeId],
+    sink: NodeId,
+    start: int = 0,
+    max_states: int = 200_000,
+) -> float:
+    """Minimal completion time of an aggregation starting at ``start``.
+
+    Explores, interaction by interaction, every subset of nodes that could
+    have transmitted so far.  Returns the earliest time at which the subset
+    of transmitted nodes equals ``V \\ {sink}``, or ``math.inf`` when no
+    complete aggregation fits in the sequence.
+
+    Args:
+        max_states: safety cap on the number of simultaneous states; raises
+            ``MemoryError`` beyond it (the instances used for cross-checks
+            are far below the cap).
+    """
+    node_set = set(nodes)
+    target: FrozenSet[NodeId] = frozenset(node_set - {sink})
+    if not target:
+        return float(max(start - 1, 0))
+    states: Set[FrozenSet[NodeId]] = {frozenset()}
+    for index in range(start, len(sequence)):
+        interaction = sequence[index]
+        u, v = interaction.u, interaction.v
+        if u not in node_set or v not in node_set:
+            # Interactions involving nodes outside V cannot carry data of V.
+            continue
+        new_states: Set[FrozenSet[NodeId]] = set(states)
+        for transmitted in states:
+            if u in transmitted or v in transmitted:
+                continue
+            # Either endpoint (except the sink) may be the one transmitting.
+            if u != sink:
+                candidate = transmitted | {u}
+                if candidate == target:
+                    return float(interaction.time)
+                new_states.add(candidate)
+            if v != sink:
+                candidate = transmitted | {v}
+                if candidate == target:
+                    return float(interaction.time)
+                new_states.add(candidate)
+        states = new_states
+        if len(states) > max_states:
+            raise MemoryError(
+                f"brute-force search exceeded {max_states} states; "
+                "use the fast offline optimum for instances of this size"
+            )
+    return math.inf
+
+
+def brute_force_schedule_exists(
+    sequence: InteractionSequence,
+    nodes: Iterable[NodeId],
+    sink: NodeId,
+    deadline: int,
+    start: int = 0,
+) -> bool:
+    """True iff some aggregation completes by ``deadline`` (inclusive)."""
+    completion = brute_force_opt(
+        sequence.slice(0, deadline + 1), nodes, sink, start=start
+    )
+    return not math.isinf(completion)

@@ -1,0 +1,183 @@
+"""Explicit offline aggregation schedules and their validation.
+
+An *aggregation schedule* assigns to every non-sink node the time at which it
+transmits its (possibly already aggregated) data and the receiver of that
+transmission.  A schedule is valid for a sequence of interactions if:
+
+1. every non-sink node transmits exactly once, the sink never transmits;
+2. a transmission at time ``t`` uses the pair that interacts at time ``t``;
+3. at most one transmission is scheduled per interaction;
+4. the receiver of a transmission at time ``t`` has not itself transmitted at
+   a time ``t' <= t`` (data must still be owned by the receiver);
+5. following the schedule, the sink ends up owning the data of every node.
+
+Condition 5 is implied by 1-4 (an easy induction), but the validator checks
+it explicitly by replaying the schedule, which also produces the completion
+time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..core.data import NodeId
+from ..core.exceptions import InvalidScheduleError
+from ..core.interaction import InteractionSequence
+
+
+@dataclass(frozen=True, order=True)
+class ScheduledTransmission:
+    """One planned transmission: ``sender`` sends to ``receiver`` at ``time``."""
+
+    time: int
+    sender: NodeId
+    receiver: NodeId
+
+
+@dataclass(frozen=True)
+class AggregationSchedule:
+    """A complete offline aggregation schedule.
+
+    Attributes:
+        transmissions: scheduled transmissions sorted by time.
+        start: first time slot the schedule was allowed to use.
+        completion_time: time of the last transmission (the paper's
+            "ending time" of the convergecast), or None for an empty
+            schedule (single-node instances).
+    """
+
+    transmissions: Tuple[ScheduledTransmission, ...]
+    start: int = 0
+
+    @property
+    def completion_time(self) -> Optional[int]:
+        """Time of the last scheduled transmission."""
+        if not self.transmissions:
+            return None
+        return self.transmissions[-1].time
+
+    @property
+    def duration(self) -> int:
+        """Number of interactions consumed, counted from time 0."""
+        completion = self.completion_time
+        return 0 if completion is None else completion + 1
+
+    def senders(self) -> Set[NodeId]:
+        """All nodes that transmit under this schedule."""
+        return {t.sender for t in self.transmissions}
+
+    def transmission_of(self, node: NodeId) -> Optional[ScheduledTransmission]:
+        """The transmission performed by ``node``, if any."""
+        for transmission in self.transmissions:
+            if transmission.sender == node:
+                return transmission
+        return None
+
+    @classmethod
+    def from_transmissions(
+        cls, transmissions: Iterable[ScheduledTransmission], start: int = 0
+    ) -> "AggregationSchedule":
+        """Build a schedule, sorting transmissions by time."""
+        return cls(transmissions=tuple(sorted(transmissions)), start=start)
+
+
+def validate_schedule(
+    schedule: AggregationSchedule,
+    sequence: InteractionSequence,
+    nodes: Iterable[NodeId],
+    sink: NodeId,
+) -> int:
+    """Check validity of ``schedule`` against ``sequence`` and replay it.
+
+    Returns:
+        The completion time (time of the last transmission).
+
+    Raises:
+        InvalidScheduleError: if any model rule is violated or the sink does
+            not end up with the data of all nodes.
+    """
+    node_set = set(nodes)
+    if sink not in node_set:
+        raise InvalidScheduleError(f"sink {sink!r} not among nodes")
+
+    expected_senders = node_set - {sink}
+    senders_seen: Set[NodeId] = set()
+    times_seen: Set[int] = set()
+    transmitted_at: Dict[NodeId, int] = {}
+
+    for transmission in schedule.transmissions:
+        time, sender, receiver = (
+            transmission.time,
+            transmission.sender,
+            transmission.receiver,
+        )
+        if sender == sink:
+            raise InvalidScheduleError("the sink must never transmit")
+        if sender not in node_set or receiver not in node_set:
+            raise InvalidScheduleError(
+                f"transmission {transmission} references unknown nodes"
+            )
+        if sender in senders_seen:
+            raise InvalidScheduleError(f"node {sender!r} transmits more than once")
+        if time in times_seen:
+            raise InvalidScheduleError(
+                f"two transmissions scheduled at the same time {time}"
+            )
+        if time < schedule.start:
+            raise InvalidScheduleError(
+                f"transmission at t={time} is before the schedule start "
+                f"{schedule.start}"
+            )
+        if time >= len(sequence):
+            raise InvalidScheduleError(
+                f"transmission at t={time} is beyond the sequence length "
+                f"{len(sequence)}"
+            )
+        interaction = sequence[time]
+        if interaction.pair != frozenset((sender, receiver)):
+            raise InvalidScheduleError(
+                f"transmission {transmission} does not match interaction "
+                f"{interaction}"
+            )
+        senders_seen.add(sender)
+        times_seen.add(time)
+        transmitted_at[sender] = time
+
+    if senders_seen != expected_senders:
+        missing = expected_senders - senders_seen
+        raise InvalidScheduleError(
+            f"nodes {sorted(map(repr, missing))} never transmit"
+        )
+
+    # Receiver must still own data when it receives: its own transmission (if
+    # any) must be strictly later.
+    for transmission in schedule.transmissions:
+        receiver = transmission.receiver
+        if receiver == sink:
+            continue
+        receiver_time = transmitted_at.get(receiver)
+        if receiver_time is not None and receiver_time <= transmission.time:
+            raise InvalidScheduleError(
+                f"node {receiver!r} receives at t={transmission.time} but "
+                f"already transmitted at t={receiver_time}"
+            )
+
+    # Replay to confirm the sink collects everything.
+    owner_of_origin: Dict[NodeId, NodeId] = {node: node for node in node_set}
+    carried: Dict[NodeId, Set[NodeId]] = {node: {node} for node in node_set}
+    for transmission in schedule.transmissions:
+        sender, receiver = transmission.sender, transmission.receiver
+        carried[receiver] |= carried[sender]
+        for origin in carried[sender]:
+            owner_of_origin[origin] = receiver
+        carried[sender] = set()
+    if carried[sink] != node_set:
+        raise InvalidScheduleError(
+            "replaying the schedule does not leave all data at the sink "
+            f"(missing {sorted(map(repr, node_set - carried[sink]))})"
+        )
+
+    completion = schedule.completion_time
+    assert completion is not None or not expected_senders
+    return -1 if completion is None else completion

@@ -1,0 +1,30 @@
+"""Experiment harness: seeding, trial runners, sweeps and result tables."""
+
+from .metrics import TrialMetrics, durations, mean_duration, termination_rate
+from .results import ExperimentReport, ResultTable
+from .runner import (
+    SweepPoint,
+    SweepResult,
+    build_knowledge_for_random_run,
+    default_horizon,
+    run_random_trial,
+    sweep_random_adversary,
+)
+from .seeding import derive_seed, trial_seeds
+
+__all__ = [
+    "ExperimentReport",
+    "ResultTable",
+    "SweepPoint",
+    "SweepResult",
+    "TrialMetrics",
+    "build_knowledge_for_random_run",
+    "default_horizon",
+    "derive_seed",
+    "durations",
+    "mean_duration",
+    "run_random_trial",
+    "sweep_random_adversary",
+    "termination_rate",
+    "trial_seeds",
+]

@@ -1,0 +1,81 @@
+"""Per-trial metrics extracted from executions."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..core.execution import ExecutionResult
+
+
+@dataclass(frozen=True)
+class TrialMetrics:
+    """Metrics of a single trial (one execution of one algorithm).
+
+    Attributes:
+        n: number of nodes.
+        seed: RNG seed of the trial.
+        algorithm: algorithm name.
+        terminated: whether the sink ended up as the only data owner.
+        duration: interactions consumed until termination (inf if not
+            terminated within the horizon).
+        transmissions: number of data transmissions performed.
+        horizon: the interaction budget the trial was given.
+        sink_coverage: number of origins aggregated at the sink at the end.
+        extra: experiment-specific values (e.g. tau, cost, meeting counts).
+    """
+
+    n: int
+    seed: int
+    algorithm: str
+    terminated: bool
+    duration: float
+    transmissions: int
+    horizon: int
+    sink_coverage: int
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    @classmethod
+    def from_result(
+        cls,
+        result: ExecutionResult,
+        n: int,
+        seed: int,
+        algorithm: str,
+        horizon: int,
+        extra: Optional[Dict[str, Any]] = None,
+    ) -> "TrialMetrics":
+        """Build metrics from an :class:`ExecutionResult`."""
+        duration = float(result.duration) if result.terminated else math.inf
+        return cls(
+            n=n,
+            seed=seed,
+            algorithm=algorithm,
+            terminated=result.terminated,
+            duration=duration,
+            transmissions=result.transmission_count,
+            horizon=horizon,
+            sink_coverage=result.sink_coverage,
+            extra=dict(extra or {}),
+        )
+
+
+def durations(metrics: Sequence[TrialMetrics]) -> List[float]:
+    """Durations of the terminated trials only."""
+    return [m.duration for m in metrics if m.terminated]
+
+
+def termination_rate(metrics: Sequence[TrialMetrics]) -> float:
+    """Fraction of trials that terminated within their horizon."""
+    if not metrics:
+        raise ValueError("no trials")
+    return sum(1 for m in metrics if m.terminated) / len(metrics)
+
+
+def mean_duration(metrics: Sequence[TrialMetrics]) -> float:
+    """Mean duration over terminated trials (inf if none terminated)."""
+    finished = durations(metrics)
+    if not finished:
+        return math.inf
+    return sum(finished) / len(finished)

@@ -1,0 +1,133 @@
+"""Result containers: tables that render to markdown, CSV and plain dicts.
+
+Experiments return :class:`ResultTable` objects so that the benches, the CLI
+and EXPERIMENTS.md all consume the same representation.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence
+
+
+def _format_cell(value: Any) -> str:
+    """Render a cell compactly (floats with 3 significant decimals)."""
+    if isinstance(value, float):
+        if math.isinf(value):
+            return "inf"
+        if math.isnan(value):
+            return "nan"
+        if value == int(value) and abs(value) < 1e15:
+            return str(int(value))
+        return f"{value:.3f}"
+    return str(value)
+
+
+@dataclass
+class ResultTable:
+    """A simple column-ordered table of experiment results.
+
+    Attributes:
+        title: table title (used as a section heading in reports).
+        columns: ordered column names.
+        rows: list of row dicts; missing cells render as empty strings.
+        notes: free-form annotations (e.g. fitted exponents, verdicts).
+    """
+
+    title: str
+    columns: List[str]
+    rows: List[Dict[str, Any]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, **cells: Any) -> None:
+        """Append a row given as keyword arguments."""
+        unknown = set(cells) - set(self.columns)
+        if unknown:
+            raise ValueError(f"unknown columns: {sorted(unknown)}")
+        self.rows.append(dict(cells))
+
+    def add_note(self, note: str) -> None:
+        """Append a free-form note displayed under the table."""
+        self.notes.append(note)
+
+    def column(self, name: str) -> List[Any]:
+        """All values of one column, in row order."""
+        if name not in self.columns:
+            raise KeyError(name)
+        return [row.get(name) for row in self.rows]
+
+    # ------------------------------------------------------------------ #
+    # Rendering
+    # ------------------------------------------------------------------ #
+    def to_markdown(self) -> str:
+        """Render as a GitHub-flavoured markdown table with title and notes."""
+        lines = [f"### {self.title}", ""]
+        lines.append("| " + " | ".join(self.columns) + " |")
+        lines.append("|" + "|".join(["---"] * len(self.columns)) + "|")
+        for row in self.rows:
+            cells = [_format_cell(row.get(column, "")) for column in self.columns]
+            lines.append("| " + " | ".join(cells) + " |")
+        if self.notes:
+            lines.append("")
+            for note in self.notes:
+                lines.append(f"- {note}")
+        return "\n".join(lines)
+
+    def to_csv(self) -> str:
+        """Render as CSV (without the title and notes)."""
+        buffer = io.StringIO()
+        writer = csv.DictWriter(buffer, fieldnames=self.columns)
+        writer.writeheader()
+        for row in self.rows:
+            writer.writerow({column: row.get(column, "") for column in self.columns})
+        return buffer.getvalue()
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict representation (JSON serialisable)."""
+        return {
+            "title": self.title,
+            "columns": list(self.columns),
+            "rows": [dict(row) for row in self.rows],
+            "notes": list(self.notes),
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        """JSON representation."""
+        return json.dumps(self.to_dict(), indent=indent, default=str)
+
+
+@dataclass
+class ExperimentReport:
+    """The full outcome of one experiment: tables plus a pass/fail verdict.
+
+    Attributes:
+        experiment_id: identifier from DESIGN.md (e.g. ``"E11"``).
+        claim: one-line statement of the paper claim being reproduced.
+        tables: result tables.
+        verdict: True when the measured behaviour is consistent with the
+            claim, False otherwise (benches assert on this).
+        details: free-form key/value details (fitted exponents, thresholds).
+    """
+
+    experiment_id: str
+    claim: str
+    tables: List[ResultTable]
+    verdict: bool
+    details: Dict[str, Any] = field(default_factory=dict)
+
+    def to_markdown(self) -> str:
+        """Render the whole report as markdown."""
+        lines = [f"## {self.experiment_id} — {self.claim}", ""]
+        lines.append(f"**Verdict:** {'reproduced' if self.verdict else 'NOT reproduced'}")
+        if self.details:
+            lines.append("")
+            for key, value in self.details.items():
+                lines.append(f"- {key}: {_format_cell(value)}")
+        for table in self.tables:
+            lines.append("")
+            lines.append(table.to_markdown())
+        return "\n".join(lines)

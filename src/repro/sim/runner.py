@@ -1,0 +1,240 @@
+"""Trial and sweep runners for the randomized-adversary experiments.
+
+The runner knows how to assemble, for any registered algorithm, the
+knowledge oracles it requires on top of the randomized adversary (Section 4
+of the paper), run one trial, and aggregate trials over an ``n`` sweep.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..adversaries.randomized import RandomizedAdversary
+from ..core.algorithm import (
+    DODAAlgorithm,
+    KNOWLEDGE_FULL,
+    KNOWLEDGE_FUTURE,
+    KNOWLEDGE_MEET_TIME,
+    KNOWLEDGE_UNDERLYING_GRAPH,
+)
+from ..core.data import NodeId
+from ..core.execution import ExecutionResult, Executor
+from ..core.interaction import InteractionSequence
+from ..knowledge import (
+    FullKnowledge,
+    FutureKnowledge,
+    KnowledgeBundle,
+    MeetTimeKnowledge,
+    UnderlyingGraphKnowledge,
+)
+from ..analysis.statistics import SampleSummary, summarize_sample
+from .metrics import TrialMetrics, mean_duration, termination_rate
+from .results import ResultTable
+from .seeding import derive_seed
+
+AlgorithmFactory = Callable[[int], DODAAlgorithm]
+
+
+def default_horizon(algorithm: DODAAlgorithm, n: int, safety: float = 8.0) -> int:
+    """A horizon comfortably above the algorithm's expected termination time.
+
+    Uses the paper's expectations: ``n² log n`` for Waiting-like algorithms,
+    ``n²`` for Gathering, ``n^{3/2}√log n`` for Waiting Greedy and
+    ``n log n`` for the full/future knowledge algorithms; everything is then
+    multiplied by a safety factor so that non-termination within the horizon
+    is a strong signal rather than an artefact.
+    """
+    log_n = max(1.0, math.log(n))
+    by_name = {
+        "waiting": n * n * log_n,
+        "gathering": n * n,
+        "coin_flip_gathering": 2 * n * n,
+        "random_receiver": n * n * log_n,
+        "waiting_greedy": n ** 1.5 * math.sqrt(log_n) + n * n,
+        "full_knowledge": n * log_n,
+        "future_broadcast": n * log_n,
+        "spanning_tree": n * n * log_n,
+    }
+    base = by_name.get(algorithm.name, n * n * log_n)
+    return int(math.ceil(safety * base)) + 16
+
+
+def build_knowledge_for_random_run(
+    algorithm: DODAAlgorithm,
+    adversary: RandomizedAdversary,
+    nodes: Sequence[NodeId],
+    sink: NodeId,
+    horizon: int,
+) -> Tuple[Optional[KnowledgeBundle], Optional[InteractionSequence]]:
+    """Assemble the oracles the algorithm needs on top of the adversary.
+
+    Returns the knowledge bundle (or None) and, when the algorithm requires
+    a committed finite sequence (``future`` or ``full_knowledge``), the
+    pre-drawn sequence the executor must replay instead of querying the
+    adversary lazily.
+    """
+    required = set(algorithm.requires)
+    if not required:
+        return None, None
+    oracles: List[Any] = []
+    committed: Optional[InteractionSequence] = None
+    if KNOWLEDGE_FUTURE in required or KNOWLEDGE_FULL in required:
+        committed = adversary.committed_prefix(horizon)
+    if KNOWLEDGE_MEET_TIME in required:
+        source = committed if committed is not None else adversary
+        oracles.append(
+            MeetTimeKnowledge(source, sink, horizon=horizon, strict=False)
+        )
+    if KNOWLEDGE_FUTURE in required:
+        assert committed is not None
+        oracles.append(FutureKnowledge(committed))
+    if KNOWLEDGE_FULL in required:
+        assert committed is not None
+        oracles.append(FullKnowledge(committed))
+    if KNOWLEDGE_UNDERLYING_GRAPH in required:
+        # Under the randomized adversary the footprint is the complete graph.
+        from itertools import combinations
+
+        oracles.append(
+            UnderlyingGraphKnowledge(nodes, edges=list(combinations(nodes, 2)))
+        )
+    return KnowledgeBundle(*oracles), committed
+
+
+def run_random_trial(
+    algorithm: DODAAlgorithm,
+    n: int,
+    seed: int,
+    horizon: Optional[int] = None,
+    sink: NodeId = 0,
+    extra: Optional[Dict[str, Any]] = None,
+) -> TrialMetrics:
+    """Run one trial of ``algorithm`` against the randomized adversary.
+
+    Args:
+        algorithm: a fresh or reusable algorithm instance.
+        n: number of nodes (identifiers ``0..n-1``; node 0 is the sink by
+            default).
+        seed: RNG seed for the adversary.
+        horizon: interaction budget; defaults to :func:`default_horizon`.
+        sink: sink node identifier.
+        extra: extra key/values recorded in the metrics.
+    """
+    nodes = list(range(n))
+    if sink not in nodes:
+        raise ValueError("sink must be one of the nodes 0..n-1")
+    if horizon is None:
+        horizon = default_horizon(algorithm, n)
+    adversary = RandomizedAdversary(nodes, seed=seed, max_horizon=max(horizon * 2, horizon + 1024))
+    knowledge, committed = build_knowledge_for_random_run(
+        algorithm, adversary, nodes, sink, horizon
+    )
+    executor = Executor(nodes, sink, algorithm, knowledge=knowledge)
+    if committed is not None:
+        result = executor.run(committed, max_interactions=horizon)
+    else:
+        result = executor.run(adversary, max_interactions=horizon)
+    return TrialMetrics.from_result(
+        result, n=n, seed=seed, algorithm=algorithm.name, horizon=horizon, extra=extra
+    )
+
+
+@dataclass
+class SweepPoint:
+    """Aggregated trials of one algorithm at one value of ``n``."""
+
+    n: int
+    algorithm: str
+    trials: List[TrialMetrics]
+
+    @property
+    def termination_rate(self) -> float:
+        return termination_rate(self.trials)
+
+    @property
+    def mean_duration(self) -> float:
+        return mean_duration(self.trials)
+
+    def summary(self) -> Optional[SampleSummary]:
+        """Summary of terminated-trial durations (None if none terminated)."""
+        finished = [t.duration for t in self.trials if t.terminated]
+        if not finished:
+            return None
+        return summarize_sample(finished)
+
+
+@dataclass
+class SweepResult:
+    """All points of an ``n`` sweep for one algorithm."""
+
+    algorithm: str
+    points: List[SweepPoint] = field(default_factory=list)
+
+    @property
+    def ns(self) -> List[int]:
+        return [point.n for point in self.points]
+
+    @property
+    def mean_durations(self) -> List[float]:
+        return [point.mean_duration for point in self.points]
+
+    def to_table(self, title: Optional[str] = None) -> ResultTable:
+        """Render the sweep as a result table."""
+        table = ResultTable(
+            title=title or f"{self.algorithm}: interactions to termination",
+            columns=["n", "trials", "terminated", "mean", "std", "median", "p90"],
+        )
+        for point in self.points:
+            summary = point.summary()
+            table.add_row(
+                n=point.n,
+                trials=len(point.trials),
+                terminated=point.termination_rate,
+                mean=summary.mean if summary else math.inf,
+                std=summary.std if summary else math.inf,
+                median=summary.median if summary else math.inf,
+                p90=summary.p90 if summary else math.inf,
+            )
+        return table
+
+
+def sweep_random_adversary(
+    algorithm_factory: AlgorithmFactory,
+    ns: Sequence[int],
+    trials: int,
+    master_seed: int = 0,
+    experiment: str = "sweep",
+    horizon_fn: Optional[Callable[[DODAAlgorithm, int], int]] = None,
+    sink: NodeId = 0,
+) -> SweepResult:
+    """Run ``trials`` independent trials per ``n`` against the randomized adversary.
+
+    Args:
+        algorithm_factory: callable mapping ``n`` to a fresh algorithm
+            instance (fresh instances avoid any state leak between trials).
+        ns: the values of ``n`` to sweep.
+        trials: number of independent trials per ``n``.
+        master_seed: master seed from which all trial seeds are derived.
+        experiment: experiment name mixed into seed derivation.
+        horizon_fn: optional override of :func:`default_horizon`.
+        sink: sink node identifier.
+    """
+    sample_algorithm = algorithm_factory(int(ns[0]))
+    result = SweepResult(algorithm=sample_algorithm.name)
+    for n in ns:
+        metrics: List[TrialMetrics] = []
+        for trial in range(trials):
+            algorithm = algorithm_factory(int(n))
+            seed = derive_seed(master_seed, experiment, algorithm.name, n, trial)
+            horizon = (
+                horizon_fn(algorithm, int(n)) if horizon_fn else default_horizon(algorithm, int(n))
+            )
+            metrics.append(
+                run_random_trial(algorithm, int(n), seed, horizon=horizon, sink=sink)
+            )
+        result.points.append(
+            SweepPoint(n=int(n), algorithm=result.algorithm, trials=metrics)
+        )
+    return result

@@ -1,0 +1,171 @@
+"""Unit tests for the impossibility-proof adversary constructions."""
+
+import math
+
+import pytest
+
+from repro.adversaries.constructions import (
+    Theorem1Adversary,
+    Theorem2Construction,
+    Theorem3Adversary,
+    theorem4_delaying_sequence,
+)
+from repro.algorithms.gathering import Gathering
+from repro.algorithms.waiting import Waiting
+from repro.algorithms.random_baseline import CoinFlipGathering
+from repro.algorithms.spanning_tree import SpanningTreeAggregation
+from repro.core.cost import convergecast_milestones
+from repro.core.execution import Executor, RecordingProvider
+from repro.core.exceptions import ConfigurationError
+from repro.knowledge import KnowledgeBundle, UnderlyingGraphKnowledge
+
+
+HORIZON = 600
+
+
+def run_against(adversary, algorithm, nodes, sink, knowledge=None, horizon=HORIZON):
+    recording = RecordingProvider(adversary)
+    executor = Executor(nodes, sink, algorithm, knowledge=knowledge)
+    result = executor.run(recording, max_interactions=horizon)
+    return result, recording.recorded_sequence()
+
+
+class TestTheorem1:
+    @pytest.mark.parametrize("algorithm_factory", [Gathering, Waiting])
+    def test_starves_deterministic_algorithms(self, algorithm_factory):
+        adversary = Theorem1Adversary()
+        result, sequence = run_against(
+            adversary, algorithm_factory(), adversary.nodes(), adversary.sink
+        )
+        assert not result.terminated
+
+    def test_offline_convergecasts_keep_fitting(self):
+        adversary = Theorem1Adversary()
+        result, sequence = run_against(
+            adversary, Gathering(), adversary.nodes(), adversary.sink
+        )
+        milestones = convergecast_milestones(
+            sequence, adversary.nodes(), adversary.sink, max_milestones=50
+        )
+        finite = [m for m in milestones if not math.isinf(m)]
+        assert len(finite) >= 10
+
+    def test_starves_randomized_oblivious_algorithm(self):
+        adversary = Theorem1Adversary()
+        result, _ = run_against(
+            adversary,
+            CoinFlipGathering(p=0.7, seed=3),
+            adversary.nodes(),
+            adversary.sink,
+        )
+        assert not result.terminated
+
+    def test_reset_clears_state(self):
+        adversary = Theorem1Adversary()
+        run_against(adversary, Gathering(), adversary.nodes(), adversary.sink)
+        adversary.reset()
+        result, _ = run_against(
+            adversary, Waiting(), adversary.nodes(), adversary.sink
+        )
+        assert not result.terminated
+
+
+class TestTheorem3:
+    def test_starves_spanning_tree_with_gbar_knowledge(self):
+        adversary = Theorem3Adversary()
+        knowledge = KnowledgeBundle(
+            UnderlyingGraphKnowledge(
+                adversary.nodes(), edges=adversary.underlying_graph_edges()
+            )
+        )
+        result, sequence = run_against(
+            adversary,
+            SpanningTreeAggregation(),
+            adversary.nodes(),
+            adversary.sink,
+            knowledge=knowledge,
+        )
+        assert not result.terminated
+        milestones = convergecast_milestones(
+            sequence, adversary.nodes(), adversary.sink, max_milestones=50
+        )
+        assert sum(1 for m in milestones if not math.isinf(m)) >= 5
+
+    def test_starves_gathering(self):
+        adversary = Theorem3Adversary()
+        result, _ = run_against(
+            adversary, Gathering(), adversary.nodes(), adversary.sink
+        )
+        assert not result.terminated
+
+    def test_underlying_graph_is_the_four_cycle(self):
+        adversary = Theorem3Adversary()
+        edges = {frozenset(e) for e in adversary.underlying_graph_edges()}
+        assert len(edges) == 4
+        assert frozenset({"u1", "u3"}) not in edges
+        assert frozenset({"u2", "s"}) not in edges
+
+
+class TestTheorem2:
+    def test_construction_requires_enough_nodes(self):
+        with pytest.raises(ConfigurationError):
+            Theorem2Construction(n=3).build(Gathering)
+
+    def test_blocks_gathering(self):
+        construction = Theorem2Construction(n=8, estimation_trials=30, seed=1)
+        adversary = construction.build(Gathering)
+        executor = Executor(construction.node_names(), "s", Gathering())
+        result = executor.run(adversary, max_interactions=80 * 8)
+        assert not result.terminated
+
+    def test_blocks_coin_flip_most_of_the_time(self):
+        construction = Theorem2Construction(n=10, estimation_trials=60, seed=2)
+        adversary = construction.build(lambda: CoinFlipGathering(p=0.5, seed=5))
+        failures = 0
+        trials = 10
+        for trial in range(trials):
+            algorithm = CoinFlipGathering(p=0.5, seed=100 + trial)
+            executor = Executor(construction.node_names(), "s", algorithm)
+            result = executor.run(adversary, max_interactions=100 * 10)
+            if not result.terminated:
+                failures += 1
+        assert failures >= 8
+
+    def test_offline_still_possible_on_construction(self):
+        construction = Theorem2Construction(n=8, estimation_trials=30, seed=1)
+        adversary = construction.build(Gathering)
+        sequence = adversary.committed_prefix(60 * 8)
+        milestones = convergecast_milestones(
+            sequence, construction.node_names(), "s", max_milestones=20
+        )
+        assert sum(1 for m in milestones if not math.isinf(m)) >= 3
+
+    def test_blocking_cycle_structure(self):
+        construction = Theorem2Construction(n=6)
+        cycle = construction.blocking_cycle(d=2)
+        assert ("u1", "s") in cycle or ("s", "u1") in [
+            tuple(reversed(pair)) for pair in cycle
+        ]
+        assert len(cycle) == 5
+
+
+class TestTheorem4Sequence:
+    def test_footprint_is_cycle(self):
+        nodes, sequence = theorem4_delaying_sequence(6, delay_rounds=4)
+        assert len(sequence.footprint_edges()) == 6
+
+    def test_needs_four_nodes(self):
+        with pytest.raises(ConfigurationError):
+            theorem4_delaying_sequence(3, delay_rounds=2)
+
+    def test_withheld_edge_appears_once(self):
+        n = 6
+        nodes, sequence = theorem4_delaying_sequence(n, delay_rounds=5)
+        assert sequence.count_pair(n - 1, 0) == 1
+
+    def test_offline_convergecast_per_round(self):
+        n = 6
+        nodes, sequence = theorem4_delaying_sequence(n, delay_rounds=5)
+        milestones = convergecast_milestones(sequence, nodes, 0, max_milestones=10)
+        finite = [m for m in milestones if not math.isinf(m)]
+        assert len(finite) >= 5

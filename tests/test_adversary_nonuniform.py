@@ -1,0 +1,110 @@
+"""Unit tests for the non-uniform randomized adversary."""
+
+import pytest
+
+from repro.adversaries.nonuniform import (
+    NonUniformRandomizedAdversary,
+    hub_weights,
+    zipf_weights,
+)
+from repro.algorithms.gathering import Gathering
+from repro.core.exceptions import ConfigurationError
+from repro.core.execution import Executor
+from repro.core.node import NetworkState
+
+
+@pytest.fixture
+def state():
+    return NetworkState(list(range(5)), sink=0)
+
+
+class TestWeightHelpers:
+    def test_zipf_weights_decreasing(self):
+        weights = zipf_weights(list(range(5)), exponent=1.0)
+        values = [weights[i] for i in range(5)]
+        assert values == sorted(values, reverse=True)
+        assert values[0] == 1.0
+
+    def test_hub_weights(self):
+        weights = hub_weights(list(range(4)), hub=2, hub_factor=5.0)
+        assert weights[2] == 5.0
+        assert weights[0] == 1.0
+
+    def test_hub_must_be_node(self):
+        with pytest.raises(ConfigurationError):
+            hub_weights([0, 1], hub=9)
+
+
+class TestNonUniformAdversary:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            NonUniformRandomizedAdversary([0])
+        with pytest.raises(ConfigurationError):
+            NonUniformRandomizedAdversary([0, 1], weights={0: 1.0})
+        with pytest.raises(ConfigurationError):
+            NonUniformRandomizedAdversary([0, 1], weights={0: 1.0, 1: 0.0})
+
+    def test_uniform_weights_give_uniform_pairs(self, state):
+        adversary = NonUniformRandomizedAdversary(list(range(5)), seed=1)
+        assert adversary.pair_probability(0, 1) == pytest.approx(0.1)
+
+    def test_pair_probabilities_sum_to_one(self):
+        adversary = NonUniformRandomizedAdversary(
+            list(range(5)), weights=zipf_weights(list(range(5))), seed=1
+        )
+        total = sum(
+            adversary.pair_probability(u, v)
+            for u in range(5)
+            for v in range(u + 1, 5)
+        )
+        assert total == pytest.approx(1.0)
+
+    def test_hub_pairs_drawn_more_often(self, state):
+        adversary = NonUniformRandomizedAdversary(
+            list(range(5)),
+            weights=hub_weights(list(range(5)), hub=0, hub_factor=10.0),
+            seed=3,
+        )
+        counts = {True: 0, False: 0}
+        for t in range(4000):
+            interaction = adversary.interaction_at(t, state)
+            counts[interaction.involves(0)] += 1
+        assert counts[True] > 2.5 * counts[False]
+
+    def test_committed_prefix_matches_replay(self, state):
+        adversary = NonUniformRandomizedAdversary(list(range(5)), seed=7)
+        played = [adversary.interaction_at(t, state).pair for t in range(40)]
+        committed = adversary.committed_prefix(40)
+        assert [i.pair for i in committed] == played
+
+    def test_next_meeting_consistency(self):
+        adversary = NonUniformRandomizedAdversary(
+            list(range(6)), weights=zipf_weights(list(range(6))), seed=4
+        )
+        t = adversary.next_meeting(3, 0, after=0)
+        assert t is not None
+        sequence = adversary.committed_prefix(t + 1)
+        assert sequence[t].pair == frozenset({3, 0})
+
+    def test_seed_reproducibility(self, state):
+        a = NonUniformRandomizedAdversary(list(range(5)), seed=9)
+        b = NonUniformRandomizedAdversary(list(range(5)), seed=9)
+        assert [a.interaction_at(t, state).pair for t in range(30)] == [
+            b.interaction_at(t, state).pair for t in range(30)
+        ]
+
+    def test_gathering_terminates_under_skew(self):
+        nodes = list(range(12))
+        adversary = NonUniformRandomizedAdversary(
+            nodes, weights=zipf_weights(nodes), seed=2
+        )
+        executor = Executor(nodes, 0, Gathering())
+        result = executor.run(adversary, max_interactions=40_000)
+        assert result.terminated
+
+    def test_max_horizon_respected(self, state):
+        adversary = NonUniformRandomizedAdversary(
+            list(range(5)), seed=1, max_horizon=10
+        )
+        assert adversary.interaction_at(10, state) is None
+        assert adversary.next_meeting(4, 3, after=9) is None

@@ -1,0 +1,134 @@
+"""Unit tests for the full-knowledge and future-broadcast algorithms."""
+
+import pytest
+
+from repro.algorithms.full_knowledge import FullKnowledge
+from repro.algorithms.future_broadcast import (
+    FutureBroadcast,
+    gossip_completion_time,
+    reconstruct_sequence,
+)
+from repro.core.cost import cost_of_result
+from repro.core.execution import Executor
+from repro.core.interaction import InteractionSequence
+from repro.graph.generators import round_robin_sequence, uniform_random_sequence
+from repro.knowledge import FullKnowledge as FullKnowledgeOracle
+from repro.knowledge import FutureKnowledge, KnowledgeBundle
+from repro.offline.convergecast import opt
+from repro.sim.runner import run_random_trial
+
+
+class TestFullKnowledgeAlgorithm:
+    def test_matches_offline_optimum_on_deterministic_sequence(self):
+        sequence = InteractionSequence.from_pairs(
+            [(2, 1), (3, 2), (1, 0), (2, 1), (1, 0), (3, 0)]
+        )
+        nodes = [0, 1, 2, 3]
+        knowledge = KnowledgeBundle(FullKnowledgeOracle(sequence))
+        executor = Executor(nodes, 0, FullKnowledge(), knowledge=knowledge)
+        result = executor.run(sequence)
+        assert result.terminated
+        assert result.duration == opt(sequence, nodes, 0) + 1
+
+    def test_matches_offline_optimum_on_random_sequences(self):
+        nodes = list(range(7))
+        for seed in range(4):
+            sequence = uniform_random_sequence(nodes, 400, seed=seed)
+            knowledge = KnowledgeBundle(FullKnowledgeOracle(sequence))
+            executor = Executor(nodes, 0, FullKnowledge(), knowledge=knowledge)
+            result = executor.run(sequence)
+            assert result.terminated
+            assert result.duration == opt(sequence, nodes, 0) + 1
+
+    def test_cost_is_one(self):
+        nodes = list(range(6))
+        sequence = uniform_random_sequence(nodes, 300, seed=9)
+        knowledge = KnowledgeBundle(FullKnowledgeOracle(sequence))
+        executor = Executor(nodes, 0, FullKnowledge(), knowledge=knowledge)
+        result = executor.run(sequence)
+        assert cost_of_result(result, sequence, nodes, 0).cost == 1.0
+
+    def test_never_transmits_when_aggregation_impossible(self):
+        sequence = InteractionSequence.from_pairs([(1, 2), (1, 2)])
+        nodes = [0, 1, 2]
+        knowledge = KnowledgeBundle(FullKnowledgeOracle(sequence))
+        executor = Executor(nodes, 0, FullKnowledge(), knowledge=knowledge)
+        result = executor.run(sequence)
+        assert not result.terminated
+        assert result.transmission_count == 0
+
+    def test_via_runner_on_randomized_adversary(self):
+        metrics = run_random_trial(FullKnowledge(), 20, seed=3)
+        assert metrics.terminated
+
+
+class TestGossipHelpers:
+    def test_reconstruct_sequence_from_futures(self):
+        sequence = InteractionSequence.from_pairs([(0, 1), (1, 2), (0, 2)])
+        futures = {
+            node: tuple(
+                (i.time, i.other(node)) for i in sequence if i.involves(node)
+            )
+            for node in (0, 1, 2)
+        }
+        rebuilt = reconstruct_sequence(futures)
+        assert rebuilt == sequence
+
+    def test_reconstruct_empty(self):
+        assert len(reconstruct_sequence({})) == 0
+
+    def test_gossip_completion_time_line(self):
+        # 0-1 then 1-2 then 2-3: node 0's knowledge reaches 3 at time 2, but
+        # node 3's knowledge never reaches 0, so completion needs more.
+        sequence = InteractionSequence.from_pairs(
+            [(0, 1), (1, 2), (2, 3), (2, 1), (1, 0)]
+        )
+        completion = gossip_completion_time(sequence, [0, 1, 2, 3])
+        assert completion == 4
+
+    def test_gossip_completion_none_when_impossible(self):
+        sequence = InteractionSequence.from_pairs([(0, 1)])
+        assert gossip_completion_time(sequence, [0, 1, 2]) is None
+
+
+class TestFutureBroadcastAlgorithm:
+    def test_terminates_on_round_robin(self):
+        nodes = list(range(6))
+        sequence = round_robin_sequence(nodes, rounds=12)
+        knowledge = KnowledgeBundle(FutureKnowledge(sequence))
+        executor = Executor(nodes, 0, FutureBroadcast(), knowledge=knowledge)
+        result = executor.run(sequence)
+        assert result.terminated
+
+    def test_cost_at_most_n(self):
+        nodes = list(range(6))
+        n = len(nodes)
+        sequence = round_robin_sequence(nodes, rounds=12)
+        knowledge = KnowledgeBundle(FutureKnowledge(sequence))
+        executor = Executor(nodes, 0, FutureBroadcast(), knowledge=knowledge)
+        result = executor.run(sequence)
+        breakdown = cost_of_result(result, sequence, nodes, 0)
+        assert breakdown.cost <= n
+
+    def test_no_data_transmission_before_gossip_completes(self):
+        nodes = list(range(5))
+        sequence = round_robin_sequence(nodes, rounds=10)
+        knowledge = KnowledgeBundle(FutureKnowledge(sequence))
+        executor = Executor(nodes, 0, FutureBroadcast(), knowledge=knowledge)
+        result = executor.run(sequence)
+        completion = gossip_completion_time(sequence, nodes)
+        assert result.terminated
+        assert all(t.time > completion for t in result.transmissions)
+
+    def test_terminates_on_randomized_adversary(self):
+        metrics = run_random_trial(FutureBroadcast(), 15, seed=8)
+        assert metrics.terminated
+
+    def test_does_not_terminate_without_enough_future(self):
+        nodes = [0, 1, 2]
+        sequence = InteractionSequence.from_pairs([(1, 2), (1, 2), (1, 2)])
+        knowledge = KnowledgeBundle(FutureKnowledge(sequence))
+        executor = Executor(nodes, 0, FutureBroadcast(), knowledge=knowledge)
+        result = executor.run(sequence)
+        assert not result.terminated
+        assert result.transmission_count == 0

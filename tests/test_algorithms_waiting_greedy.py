@@ -1,0 +1,143 @@
+"""Unit tests for Waiting Greedy and its tau parameter."""
+
+import math
+
+import pytest
+
+from repro.algorithms.waiting_greedy import WaitingGreedy, optimal_tau
+from repro.core.execution import Executor, run_algorithm
+from repro.core.interaction import InteractionSequence
+from repro.core.node import NodeView
+from repro.knowledge import KnowledgeBundle, MeetTimeKnowledge
+from repro.sim.runner import run_random_trial
+
+
+class StubMeetTimes:
+    """Knowledge stub with fixed meet times per node."""
+
+    def __init__(self, meet_times):
+        self.meet_times = meet_times
+
+    def meet_time(self, node, t):
+        return self.meet_times[node]
+
+    def provides(self):
+        return frozenset({"meetTime"})
+
+
+def view(node, knowledge, is_sink=False):
+    return NodeView(id=node, is_sink=is_sink, owns_data=True, knowledge=knowledge)
+
+
+class TestOptimalTau:
+    def test_formula(self):
+        n = 100
+        assert optimal_tau(n) == math.ceil(n ** 1.5 * math.sqrt(math.log(n)))
+
+    def test_constant_scales(self):
+        assert optimal_tau(100, constant=2.0) == 2 * optimal_tau(100, constant=1.0)
+
+    def test_small_n_rejected(self):
+        with pytest.raises(ValueError):
+            optimal_tau(1)
+
+    def test_negative_tau_rejected(self):
+        with pytest.raises(ValueError):
+            WaitingGreedy(tau=-1)
+
+    def test_with_optimal_tau_constructor(self):
+        algorithm = WaitingGreedy.with_optimal_tau(50)
+        assert algorithm.tau == optimal_tau(50)
+
+
+class TestDecisionRule:
+    def test_largest_meet_time_transmits_when_beyond_tau(self):
+        knowledge = StubMeetTimes({1: 10, 2: 100})
+        algorithm = WaitingGreedy(tau=50)
+        # Node 2's next sink meeting (100) is beyond tau: it hands its data
+        # to node 1, i.e. node 1 receives.
+        assert algorithm.decide(view(1, knowledge), view(2, knowledge), 0) == 1
+
+    def test_symmetric_case(self):
+        knowledge = StubMeetTimes({1: 100, 2: 10})
+        algorithm = WaitingGreedy(tau=50)
+        assert algorithm.decide(view(1, knowledge), view(2, knowledge), 0) == 2
+
+    def test_no_transmission_when_both_meet_before_tau(self):
+        knowledge = StubMeetTimes({1: 10, 2: 20})
+        algorithm = WaitingGreedy(tau=50)
+        assert algorithm.decide(view(1, knowledge), view(2, knowledge), 0) is None
+
+    def test_ties_resolved_towards_first(self):
+        knowledge = StubMeetTimes({1: 80, 2: 80})
+        algorithm = WaitingGreedy(tau=50)
+        # m1 <= m2 and tau < m2: the first node receives.
+        assert algorithm.decide(view(1, knowledge), view(2, knowledge), 0) == 1
+
+    def test_sink_interaction_uses_identity_meet_time(self):
+        knowledge = StubMeetTimes({5: 100})
+        algorithm = WaitingGreedy(tau=50)
+        sink_view = NodeView(id=0, is_sink=True, owns_data=True, knowledge=knowledge)
+        assert algorithm.decide(sink_view, view(5, knowledge), 7) == 0
+
+    def test_sink_interaction_no_transmission_when_peer_meets_soon(self):
+        knowledge = StubMeetTimes({5: 20})
+        algorithm = WaitingGreedy(tau=50)
+        sink_view = NodeView(id=0, is_sink=True, owns_data=True, knowledge=knowledge)
+        # The peer meets the sink again before tau, so (per the paper's
+        # definition) no transmission happens yet.
+        assert algorithm.decide(sink_view, view(5, knowledge), 7) is None
+
+    def test_acts_as_gathering_after_tau(self):
+        knowledge = StubMeetTimes({1: 60, 2: 70})
+        algorithm = WaitingGreedy(tau=50)
+        # At any time, since both meet times exceed tau, a transmission
+        # happens; the node with the larger meet time transmits.
+        assert algorithm.decide(view(1, knowledge), view(2, knowledge), 55) == 1
+
+
+class TestEndToEnd:
+    def test_requires_meet_time_oracle(self):
+        from repro.core.exceptions import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            Executor([0, 1], sink=0, algorithm=WaitingGreedy(tau=5))
+
+    def test_terminates_on_committed_sequence(self):
+        nodes = list(range(6))
+        sequence_pairs = []
+        # A crafted sequence: nodes 1..5 each meet the sink late; pairwise
+        # meetings happen early so Waiting Greedy funnels data to the node
+        # meeting the sink soonest.
+        sequence_pairs += [(1, 2), (3, 4), (4, 5), (2, 3)]
+        sequence_pairs += [(1, 0), (2, 0), (3, 0), (4, 0), (5, 0)]
+        sequence = InteractionSequence.from_pairs(sequence_pairs)
+        knowledge = KnowledgeBundle(
+            MeetTimeKnowledge(sequence, sink=0, horizon=len(sequence))
+        )
+        executor = Executor(nodes, 0, WaitingGreedy(tau=3), knowledge=knowledge)
+        result = executor.run(sequence)
+        assert result.terminated
+
+    def test_random_adversary_terminates_within_reasonable_bound(self):
+        n = 25
+        tau = optimal_tau(n, constant=2.0)
+        metrics = run_random_trial(WaitingGreedy(tau=tau), n, seed=5)
+        assert metrics.terminated
+        assert metrics.duration <= 2 * tau
+
+    def test_faster_than_gathering_at_moderate_n(self):
+        from repro.algorithms.gathering import Gathering
+
+        n = 60
+        tau = optimal_tau(n, constant=2.0)
+        greedy_durations = []
+        gathering_durations = []
+        for seed in range(5):
+            greedy_durations.append(
+                run_random_trial(WaitingGreedy(tau=tau), n, seed=seed).duration
+            )
+            gathering_durations.append(
+                run_random_trial(Gathering(), n, seed=seed).duration
+            )
+        assert sum(greedy_durations) < sum(gathering_durations)

@@ -1,0 +1,168 @@
+"""Unit tests for the analysis helpers (bounds, fitting, statistics)."""
+
+import math
+
+import pytest
+
+from repro.analysis.bounds import (
+    BOUNDS,
+    broadcast_expected_exact,
+    compare_to_bound,
+    gathering_expected_exact,
+    harmonic,
+    last_transmission_expected,
+    n_log_n,
+    n_squared,
+    n_squared_log_n,
+    n_three_halves_sqrt_log_n,
+    waiting_expected_exact,
+)
+from repro.analysis.fitting import (
+    crossover_point,
+    fit_exponent_against_bound,
+    fit_power_law,
+    ratio_drift,
+)
+from repro.analysis.statistics import (
+    chebyshev_deviation_bound,
+    fraction_within,
+    geometric_sweep,
+    high_probability_threshold,
+    summarize_sample,
+)
+
+
+class TestBounds:
+    def test_harmonic(self):
+        assert harmonic(1) == 1.0
+        assert harmonic(4) == pytest.approx(1 + 0.5 + 1 / 3 + 0.25)
+
+    def test_bound_functions_monotone(self):
+        for bound in BOUNDS.values():
+            assert bound(100) > bound(10) > 0
+
+    def test_exact_expectations(self):
+        n = 20
+        assert gathering_expected_exact(n) == pytest.approx((n - 1) ** 2, rel=1e-9)
+        assert waiting_expected_exact(n) == pytest.approx(
+            n * (n - 1) / 2 * harmonic(n - 1)
+        )
+        assert broadcast_expected_exact(n) == pytest.approx((n - 1) * harmonic(n - 1))
+        assert last_transmission_expected(n) == n * (n - 1) / 2
+
+    def test_ordering_of_bounds(self):
+        n = 500
+        assert n_log_n(n) < n_three_halves_sqrt_log_n(n) < n_squared(n) < n_squared_log_n(n)
+
+    def test_compare_to_bound(self):
+        comparison = compare_to_bound([10, 20, 40], [200, 800, 3200], n_squared, "n^2")
+        assert comparison.ratios == (2.0, 2.0, 2.0)
+        assert comparison.ratio_spread == 1.0
+
+    def test_compare_length_mismatch(self):
+        with pytest.raises(ValueError):
+            compare_to_bound([10], [1, 2], n_squared)
+
+
+class TestFitting:
+    def test_fit_exact_power_law(self):
+        ns = [10, 20, 40, 80]
+        values = [3 * n ** 2 for n in ns]
+        fit = fit_power_law(ns, values)
+        assert fit.exponent == pytest.approx(2.0, abs=1e-9)
+        assert fit.constant == pytest.approx(3.0, rel=1e-6)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_predict(self):
+        fit = fit_power_law([10, 100], [100, 10000])
+        assert fit.predict(50) == pytest.approx(2500, rel=1e-6)
+
+    def test_fit_requires_positive_data(self):
+        with pytest.raises(ValueError):
+            fit_power_law([1, 2], [0, 1])
+        with pytest.raises(ValueError):
+            fit_power_law([1], [1])
+        with pytest.raises(ValueError):
+            fit_power_law([1, 2], [1, 2, 3])
+
+    def test_ratio_drift_zero_when_bound_matches(self):
+        ns = [16, 32, 64, 128]
+        values = [5 * n * math.log(n) for n in ns]
+        assert abs(ratio_drift(ns, values, n_log_n)) < 1e-9
+
+    def test_ratio_drift_positive_when_growing_faster(self):
+        ns = [16, 32, 64, 128]
+        values = [n ** 2 for n in ns]
+        assert ratio_drift(ns, values, n_log_n) > 0.5
+
+    def test_fit_exponent_against_bound(self):
+        ns = [16, 32, 64]
+        values = [n ** 2 for n in ns]
+        fit = fit_exponent_against_bound(ns, values, n_squared)
+        assert fit.exponent == pytest.approx(0.0, abs=1e-9)
+
+    def test_crossover_point(self):
+        ns = [10, 20, 30, 40]
+        a = [100, 90, 50, 10]
+        b = [60, 60, 60, 60]
+        crossover = crossover_point(ns, a, b)
+        assert 20 < crossover <= 30
+
+    def test_crossover_none(self):
+        assert crossover_point([1, 2], [5, 5], [1, 1]) is None
+
+    def test_crossover_immediate(self):
+        assert crossover_point([1, 2], [0, 0], [1, 1]) == 1.0
+
+    def test_crossover_length_mismatch(self):
+        with pytest.raises(ValueError):
+            crossover_point([1], [1, 2], [1, 2])
+
+
+class TestStatistics:
+    def test_summarize_sample(self):
+        summary = summarize_sample([1.0, 2.0, 3.0, 4.0])
+        assert summary.count == 4
+        assert summary.mean == 2.5
+        assert summary.minimum == 1.0
+        assert summary.maximum == 4.0
+        assert summary.median == 2.5
+
+    def test_summary_confidence_interval(self):
+        summary = summarize_sample([2.0, 2.0, 2.0])
+        low, high = summary.confidence_interval()
+        assert low == high == 2.0
+
+    def test_summarize_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize_sample([])
+
+    def test_fraction_within(self):
+        assert fraction_within([1, 2, 3, 4], 2.5) == 0.5
+        with pytest.raises(ValueError):
+            fraction_within([], 1)
+
+    def test_chebyshev(self):
+        assert chebyshev_deviation_bound(1.0, 2.0) == 0.25
+        assert chebyshev_deviation_bound(10.0, 2.0) == 1.0
+        with pytest.raises(ValueError):
+            chebyshev_deviation_bound(1.0, 0.0)
+
+    def test_high_probability_threshold(self):
+        assert high_probability_threshold(100) == pytest.approx(1 / math.log(100))
+        with pytest.raises(ValueError):
+            high_probability_threshold(2)
+
+    def test_geometric_sweep(self):
+        sweep = geometric_sweep(10, 80, 4)
+        assert sweep[0] == 10
+        assert sweep[-1] == 80
+        assert sweep == sorted(sweep)
+        assert len(sweep) == 4
+
+    def test_geometric_sweep_single_point(self):
+        assert geometric_sweep(5, 100, 1) == [5]
+
+    def test_geometric_sweep_validation(self):
+        with pytest.raises(ValueError):
+            geometric_sweep(10, 5, 3)

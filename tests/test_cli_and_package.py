@@ -1,0 +1,63 @@
+"""Tests for the CLI and the public package surface."""
+
+import pytest
+
+import repro
+from repro.cli import build_parser, main
+
+
+class TestPackageSurface:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_paper_algorithms_exposed(self):
+        assert repro.Gathering().name == "gathering"
+        assert repro.Waiting().name == "waiting"
+        assert repro.WaitingGreedy(tau=10).name == "waiting_greedy"
+
+    def test_quickstart_snippet_from_docstring(self):
+        nodes = list(range(20))
+        adversary = repro.RandomizedAdversary(nodes, seed=1)
+        result = repro.Executor(nodes, sink=0, algorithm=repro.Gathering()).run(
+            adversary, max_interactions=20_000
+        )
+        assert result.terminated
+
+
+class TestCLI:
+    def test_parser_builds(self):
+        parser = build_parser()
+        args = parser.parse_args(["list"])
+        assert args.command == "list"
+
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        assert "E11" in output
+        assert "gathering" in output
+
+    def test_trial_command(self, capsys):
+        assert main(["trial", "gathering", "--n", "12", "--seed", "1"]) == 0
+        output = capsys.readouterr().out
+        assert "terminated=True" in output
+
+    def test_trial_command_waiting_greedy_defaults_tau(self, capsys):
+        assert main(["trial", "waiting_greedy", "--n", "12", "--seed", "1"]) == 0
+
+    def test_run_command_writes_output(self, tmp_path, capsys):
+        target = tmp_path / "report.md"
+        code = main(["run", "E5", "--output", str(target)])
+        assert code == 0
+        assert "Theorem 5" in target.read_text()
+
+    def test_run_command_unknown_experiment(self):
+        with pytest.raises(KeyError):
+            main(["run", "E99"])
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,106 @@
+"""Unit tests for the algorithm base class and registry."""
+
+import pytest
+
+from repro.core.algorithm import (
+    AlgorithmRegistry,
+    DODAAlgorithm,
+    KNOWLEDGE_MEET_TIME,
+    registry,
+)
+from repro.core.exceptions import ConfigurationError
+
+
+class DummyAlgorithm(DODAAlgorithm):
+    name = "dummy_for_registry_tests"
+
+    def decide(self, first, second, time):
+        return None
+
+
+class TestDODAAlgorithmBase:
+    def test_decide_is_abstract(self):
+        with pytest.raises(NotImplementedError):
+            DODAAlgorithm().decide(None, None, 0)
+
+    def test_validate_knowledge_ok_when_subset(self):
+        algorithm = DummyAlgorithm()
+        algorithm.validate_knowledge([KNOWLEDGE_MEET_TIME])
+
+    def test_validate_knowledge_missing(self):
+        class Needy(DODAAlgorithm):
+            name = "needy"
+            requires = frozenset({KNOWLEDGE_MEET_TIME})
+
+            def decide(self, first, second, time):
+                return None
+
+        with pytest.raises(ConfigurationError):
+            Needy().validate_knowledge([])
+
+    def test_on_run_start_default_noop(self):
+        DummyAlgorithm().on_run_start([0, 1], sink=0)
+
+
+class TestRegistry:
+    def test_register_and_get(self):
+        local = AlgorithmRegistry()
+        local.register(DummyAlgorithm)
+        assert local.get("dummy_for_registry_tests") is DummyAlgorithm
+
+    def test_register_requires_name(self):
+        local = AlgorithmRegistry()
+
+        class Unnamed(DODAAlgorithm):
+            name = "abstract"
+
+            def decide(self, first, second, time):
+                return None
+
+        with pytest.raises(ConfigurationError):
+            local.register(Unnamed)
+
+    def test_conflicting_names_rejected(self):
+        local = AlgorithmRegistry()
+        local.register(DummyAlgorithm)
+
+        class Other(DODAAlgorithm):
+            name = "dummy_for_registry_tests"
+
+            def decide(self, first, second, time):
+                return None
+
+        with pytest.raises(ConfigurationError):
+            local.register(Other)
+
+    def test_reregistering_same_class_is_idempotent(self):
+        local = AlgorithmRegistry()
+        local.register(DummyAlgorithm)
+        local.register(DummyAlgorithm)
+        assert list(local.names()) == ["dummy_for_registry_tests"]
+
+    def test_unknown_name_raises(self):
+        local = AlgorithmRegistry()
+        with pytest.raises(KeyError):
+            local.get("does-not-exist")
+
+    def test_create_instantiates(self):
+        local = AlgorithmRegistry()
+        local.register(DummyAlgorithm)
+        instance = local.create("dummy_for_registry_tests")
+        assert isinstance(instance, DummyAlgorithm)
+
+    def test_global_registry_contains_paper_algorithms(self):
+        names = set(registry.names())
+        assert {
+            "waiting",
+            "gathering",
+            "waiting_greedy",
+            "spanning_tree",
+            "future_broadcast",
+            "full_knowledge",
+        } <= names
+
+    def test_global_registry_create_waiting_greedy_with_kwargs(self):
+        algorithm = registry.create("waiting_greedy", tau=10)
+        assert algorithm.tau == 10

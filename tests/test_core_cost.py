@@ -1,0 +1,106 @@
+"""Unit tests for the cost measure of Section 2.3."""
+
+import math
+
+import pytest
+
+from repro.algorithms.gathering import Gathering
+from repro.algorithms.waiting import Waiting
+from repro.core.cost import (
+    convergecast_milestones,
+    cost_of_duration,
+    cost_of_result,
+    is_optimal,
+)
+from repro.core.execution import run_algorithm
+from repro.core.interaction import InteractionSequence
+
+
+@pytest.fixture
+def two_convergecast_sequence():
+    """A sequence on {0,1,2} (sink 0) allowing two successive convergecasts."""
+    return InteractionSequence.from_pairs(
+        [(2, 1), (1, 0), (2, 1), (1, 0)]
+    )
+
+
+class TestMilestones:
+    def test_first_milestone_is_opt0(self, two_convergecast_sequence):
+        milestones = convergecast_milestones(
+            two_convergecast_sequence, [0, 1, 2], sink=0, max_milestones=5
+        )
+        assert milestones[0] == 1  # opt(0): last hop at time 1
+
+    def test_second_milestone(self, two_convergecast_sequence):
+        milestones = convergecast_milestones(
+            two_convergecast_sequence, [0, 1, 2], sink=0, max_milestones=5
+        )
+        assert milestones[1] == 3
+
+    def test_milestones_become_infinite(self, two_convergecast_sequence):
+        milestones = convergecast_milestones(
+            two_convergecast_sequence, [0, 1, 2], sink=0, max_milestones=5
+        )
+        assert math.isinf(milestones[-1])
+
+    def test_milestones_stop_at_duration(self, two_convergecast_sequence):
+        milestones = convergecast_milestones(
+            two_convergecast_sequence, [0, 1, 2], sink=0, up_to_duration=2
+        )
+        assert len(milestones) == 1
+
+
+class TestCost:
+    def test_optimal_run_has_cost_one(self, two_convergecast_sequence):
+        breakdown = cost_of_duration(2, two_convergecast_sequence, [0, 1, 2], sink=0)
+        assert breakdown.cost == 1.0
+
+    def test_second_convergecast_cost_two(self, two_convergecast_sequence):
+        breakdown = cost_of_duration(4, two_convergecast_sequence, [0, 1, 2], sink=0)
+        assert breakdown.cost == 2.0
+
+    def test_duration_between_milestones_rounds_up(self, two_convergecast_sequence):
+        breakdown = cost_of_duration(3, two_convergecast_sequence, [0, 1, 2], sink=0)
+        assert breakdown.cost == 2.0
+
+    def test_non_terminating_run_cost_is_imax(self, two_convergecast_sequence):
+        breakdown = cost_of_duration(None, two_convergecast_sequence, [0, 1, 2], sink=0)
+        # Two convergecasts fit in the sequence, so i_max = 2.
+        assert breakdown.cost == 2.0
+        assert math.isinf(breakdown.duration)
+
+    def test_cost_of_result_gathering_is_optimal_on_line(self):
+        sequence = InteractionSequence.from_pairs([(2, 1), (1, 0)])
+        result = run_algorithm(Gathering(), sequence, [0, 1, 2], sink=0)
+        breakdown = cost_of_result(result, sequence, [0, 1, 2], sink=0)
+        assert breakdown.cost == 1.0
+        assert is_optimal(result, sequence, [0, 1, 2], sink=0)
+
+    def test_waiting_pays_extra_convergecasts(self):
+        # Waiting ignores the node-to-node interactions, so it needs the
+        # second block to finish while the offline optimum finishes in the
+        # first block.
+        sequence = InteractionSequence.from_pairs(
+            [(2, 1), (1, 0), (2, 0), (2, 1), (1, 0), (2, 0)]
+        )
+        result = run_algorithm(Waiting(), sequence, [0, 1, 2], sink=0)
+        assert result.terminated
+        breakdown = cost_of_result(result, sequence, [0, 1, 2], sink=0)
+        assert breakdown.cost >= 2.0
+
+    def test_cost_invariant_under_duplicate_interactions(self):
+        # Inserting an immediately repeated interaction does not change the
+        # cost of an algorithm that ignores it (a stated design goal of the
+        # cost definition).
+        base = InteractionSequence.from_pairs([(2, 1), (1, 0), (2, 1), (1, 0)])
+        padded = InteractionSequence.from_pairs(
+            [(2, 1), (2, 1), (1, 0), (2, 1), (1, 0)]
+        )
+        cost_base = cost_of_duration(2, base, [0, 1, 2], sink=0).cost
+        cost_padded = cost_of_duration(3, padded, [0, 1, 2], sink=0).cost
+        assert cost_base == cost_padded == 1.0
+
+    def test_infinite_duration_and_no_convergecast(self):
+        sequence = InteractionSequence.from_pairs([(1, 2)])
+        breakdown = cost_of_duration(None, sequence, [0, 1, 2], sink=0)
+        assert math.isinf(breakdown.cost)

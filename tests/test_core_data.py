@@ -1,0 +1,92 @@
+"""Unit tests for repro.core.data (tokens and aggregation functions)."""
+
+import pytest
+
+from repro.core.data import (
+    COUNT,
+    DataToken,
+    MAX,
+    MIN,
+    SUM,
+    AggregationFunction,
+    get_aggregation_function,
+    is_associative_commutative,
+)
+
+
+class TestDataToken:
+    def test_initial_token_has_single_origin(self):
+        token = DataToken.initial("a")
+        assert token.origins == frozenset({"a"})
+        assert token.payload == 1.0
+
+    def test_initial_token_custom_payload(self):
+        token = DataToken.initial("a", payload=5.0)
+        assert token.payload == 5.0
+
+    def test_aggregate_unions_origins(self):
+        token = DataToken.initial("a").aggregate(DataToken.initial("b"))
+        assert token.origins == frozenset({"a", "b"})
+
+    def test_aggregate_sums_payloads_by_default(self):
+        token = DataToken.initial("a", 2.0).aggregate(DataToken.initial("b", 3.0))
+        assert token.payload == 5.0
+
+    def test_aggregate_custom_fold(self):
+        token = DataToken.initial("a", 2.0).aggregate(
+            DataToken.initial("b", 3.0), fold=max
+        )
+        assert token.payload == 3.0
+
+    def test_aggregate_overlapping_origins_rejected(self):
+        first = DataToken.initial("a")
+        second = DataToken(origins=frozenset({"a", "b"}), payload=1.0)
+        with pytest.raises(ValueError):
+            first.aggregate(second)
+
+    def test_covers(self):
+        token = DataToken(origins=frozenset({"a", "b", "c"}), payload=3.0)
+        assert token.covers({"a", "b"})
+        assert not token.covers({"a", "d"})
+
+    def test_len_is_origin_count(self):
+        token = DataToken(origins=frozenset({"a", "b"}), payload=2.0)
+        assert len(token) == 2
+
+    def test_tokens_are_immutable(self):
+        token = DataToken.initial("a")
+        with pytest.raises(AttributeError):
+            token.payload = 2.0
+
+    def test_aggregation_is_commutative_on_origins(self):
+        a, b = DataToken.initial("a"), DataToken.initial("b")
+        assert a.aggregate(b).origins == b.aggregate(a).origins
+
+
+class TestAggregationFunctions:
+    def test_builtin_lookup(self):
+        assert get_aggregation_function("sum") is SUM
+        assert get_aggregation_function("min") is MIN
+        assert get_aggregation_function("max") is MAX
+        assert get_aggregation_function("count") is COUNT
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            get_aggregation_function("median")
+
+    def test_sum_fold(self):
+        assert SUM(2.0, 3.0) == 5.0
+
+    def test_min_max_fold(self):
+        assert MIN(2.0, 3.0) == 2.0
+        assert MAX(2.0, 3.0) == 3.0
+
+    def test_callable_protocol(self):
+        custom = AggregationFunction("mul", lambda a, b: a * b, identity=1.0)
+        assert custom(3.0, 4.0) == 12.0
+
+    def test_is_associative_commutative_accepts_sum(self):
+        assert is_associative_commutative(lambda a, b: a + b, [0.0, 1.0, 2.5, -3.0])
+
+    def test_is_associative_commutative_rejects_subtraction(self):
+        assert not is_associative_commutative(lambda a, b: a - b, [0.0, 1.0, 2.0])

@@ -1,0 +1,147 @@
+"""Unit tests for repro.core.interaction."""
+
+import pytest
+
+from repro.core.exceptions import InvalidInteractionError
+from repro.core.interaction import Interaction, InteractionSequence
+
+
+class TestInteraction:
+    def test_pair_is_unordered(self):
+        assert Interaction(0, 1, 2) == Interaction(0, 2, 1)
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(InvalidInteractionError):
+            Interaction(0, 3, 3)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(InvalidInteractionError):
+            Interaction(-1, 0, 1)
+
+    def test_involves(self):
+        interaction = Interaction(5, "a", "b")
+        assert interaction.involves("a")
+        assert interaction.involves("b")
+        assert not interaction.involves("c")
+
+    def test_other(self):
+        interaction = Interaction(5, "a", "b")
+        assert interaction.other("a") == "b"
+        assert interaction.other("b") == "a"
+
+    def test_other_unknown_node_raises(self):
+        with pytest.raises(InvalidInteractionError):
+            Interaction(5, "a", "b").other("c")
+
+    def test_at_time_restamps(self):
+        assert Interaction(5, "a", "b").at_time(9).time == 9
+
+    def test_pair_property(self):
+        assert Interaction(0, 2, 7).pair == frozenset({2, 7})
+
+    def test_mixed_type_identifiers_are_canonicalised(self):
+        # Identifiers that cannot be compared directly fall back to repr order.
+        first = Interaction(0, "a", 1)
+        second = Interaction(0, 1, "a")
+        assert first == second
+
+
+class TestInteractionSequence:
+    def test_from_pairs_assigns_times_as_indices(self):
+        sequence = InteractionSequence.from_pairs([(0, 1), (1, 2)])
+        assert [i.time for i in sequence] == [0, 1]
+
+    def test_len_and_getitem(self):
+        sequence = InteractionSequence.from_pairs([(0, 1), (1, 2), (2, 3)])
+        assert len(sequence) == 3
+        assert sequence[1].pair == frozenset({1, 2})
+
+    def test_keep_times_requires_consecutive(self):
+        with pytest.raises(InvalidInteractionError):
+            InteractionSequence([Interaction(5, 0, 1)], keep_times=True)
+
+    def test_keep_times_accepts_consecutive(self):
+        sequence = InteractionSequence(
+            [Interaction(0, 0, 1), Interaction(1, 1, 2)], keep_times=True
+        )
+        assert len(sequence) == 2
+
+    def test_nodes(self):
+        sequence = InteractionSequence.from_pairs([(0, 1), (2, 3)])
+        assert sequence.nodes() == {0, 1, 2, 3}
+
+    def test_footprint_edges(self):
+        sequence = InteractionSequence.from_pairs([(0, 1), (1, 0), (1, 2)])
+        assert sequence.footprint_edges() == {frozenset({0, 1}), frozenset({1, 2})}
+
+    def test_meetings_with(self):
+        sequence = InteractionSequence.from_pairs([(0, 1), (1, 2), (0, 2), (0, 1)])
+        assert sequence.meetings_with(0) == (0, 2, 3)
+        assert sequence.meetings_with(1) == (0, 1, 3)
+
+    def test_next_meeting(self):
+        sequence = InteractionSequence.from_pairs([(0, 1), (1, 2), (0, 1)])
+        assert sequence.next_meeting(0, 1, after=0) == 2
+        assert sequence.next_meeting(0, 1, after=2) is None
+        assert sequence.next_meeting(0, 2, after=-1) is None
+
+    def test_count_pair(self):
+        sequence = InteractionSequence.from_pairs([(0, 1), (1, 0), (1, 2)])
+        assert sequence.count_pair(0, 1) == 2
+        assert sequence.count_pair(1, 2) == 1
+        assert sequence.count_pair(0, 2) == 0
+
+    def test_slice_restamps_times(self):
+        sequence = InteractionSequence.from_pairs([(0, 1), (1, 2), (2, 3)])
+        sliced = sequence.slice(1)
+        assert len(sliced) == 2
+        assert [i.time for i in sliced] == [0, 1]
+        assert sliced[0].pair == frozenset({1, 2})
+
+    def test_slice_with_stop(self):
+        sequence = InteractionSequence.from_pairs([(0, 1), (1, 2), (2, 3)])
+        assert len(sequence.slice(0, 2)) == 2
+
+    def test_window_preserves_times(self):
+        sequence = InteractionSequence.from_pairs([(0, 1), (1, 2), (2, 3)])
+        window = sequence.window(1, 3)
+        assert [i.time for i in window] == [1, 2]
+
+    def test_concat(self):
+        first = InteractionSequence.from_pairs([(0, 1)])
+        second = InteractionSequence.from_pairs([(1, 2)])
+        combined = first.concat(second)
+        assert len(combined) == 2
+        assert combined[1].pair == frozenset({1, 2})
+        assert combined[1].time == 1
+
+    def test_repeat(self):
+        sequence = InteractionSequence.from_pairs([(0, 1), (1, 2)])
+        repeated = sequence.repeat(3)
+        assert len(repeated) == 6
+        assert repeated[4].pair == frozenset({0, 1})
+
+    def test_repeat_negative_raises(self):
+        with pytest.raises(ValueError):
+            InteractionSequence.from_pairs([(0, 1)]).repeat(-1)
+
+    def test_reversed(self):
+        sequence = InteractionSequence.from_pairs([(0, 1), (1, 2)])
+        rev = sequence.reversed()
+        assert rev[0].pair == frozenset({1, 2})
+        assert rev[1].pair == frozenset({0, 1})
+
+    def test_equality_and_hash(self):
+        a = InteractionSequence.from_pairs([(0, 1), (1, 2)])
+        b = InteractionSequence.from_pairs([(0, 1), (1, 2)])
+        c = InteractionSequence.from_pairs([(0, 1)])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != c
+
+    def test_empty(self):
+        assert len(InteractionSequence.empty()) == 0
+
+    def test_pairs_property(self):
+        sequence = InteractionSequence.from_pairs([(1, 0), (2, 1)])
+        assert sequence.pairs == [(0, 1), (1, 2)]

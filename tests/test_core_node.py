@@ -1,0 +1,114 @@
+"""Unit tests for repro.core.node (NetworkState and NodeView)."""
+
+import pytest
+
+from repro.core.data import MAX, DataToken
+from repro.core.exceptions import KnowledgeError, ModelViolationError
+from repro.core.node import NetworkState, NodeView
+
+
+class TestNetworkStateConstruction:
+    def test_every_node_starts_with_its_own_data(self):
+        state = NetworkState([0, 1, 2], sink=0)
+        for node in (0, 1, 2):
+            assert state.owns_data(node)
+            assert state.token_of(node).origins == frozenset({node})
+
+    def test_sink_must_be_a_node(self):
+        with pytest.raises(ModelViolationError):
+            NetworkState([0, 1], sink=9)
+
+    def test_duplicate_identifiers_rejected(self):
+        with pytest.raises(ModelViolationError):
+            NetworkState([0, 0, 1], sink=0)
+
+    def test_single_node_rejected(self):
+        with pytest.raises(ModelViolationError):
+            NetworkState([0], sink=0)
+
+    def test_initial_payloads(self):
+        state = NetworkState([0, 1], sink=0, initial_payloads={1: 7.0})
+        assert state.token_of(1).payload == 7.0
+        assert state.token_of(0).payload == 1.0
+
+
+class TestTransmissions:
+    def test_transmit_moves_and_aggregates(self):
+        state = NetworkState([0, 1, 2], sink=0)
+        state.transmit(sender=2, receiver=1, time=0)
+        assert not state.owns_data(2)
+        assert state.token_of(1).origins == frozenset({1, 2})
+        assert state.transmitted_at[2] == 0
+
+    def test_transmit_payload_aggregation(self):
+        state = NetworkState([0, 1, 2], sink=0, initial_payloads={1: 5.0, 2: 3.0},
+                             aggregation=MAX)
+        state.transmit(sender=2, receiver=1, time=0)
+        assert state.token_of(1).payload == 5.0
+
+    def test_sender_without_data_rejected(self):
+        state = NetworkState([0, 1, 2], sink=0)
+        state.transmit(sender=2, receiver=1, time=0)
+        with pytest.raises(ModelViolationError):
+            state.transmit(sender=2, receiver=0, time=1)
+
+    def test_receiver_without_data_rejected(self):
+        state = NetworkState([0, 1, 2], sink=0)
+        state.transmit(sender=2, receiver=1, time=0)
+        with pytest.raises(ModelViolationError):
+            state.transmit(sender=1, receiver=2, time=1)
+
+    def test_sink_never_transmits(self):
+        state = NetworkState([0, 1], sink=0)
+        with pytest.raises(ModelViolationError):
+            state.transmit(sender=0, receiver=1, time=0)
+
+    def test_self_transmission_rejected(self):
+        state = NetworkState([0, 1], sink=0)
+        with pytest.raises(ModelViolationError):
+            state.transmit(sender=1, receiver=1, time=0)
+
+    def test_aggregation_complete(self):
+        state = NetworkState([0, 1, 2], sink=0)
+        assert not state.is_aggregation_complete()
+        state.transmit(sender=2, receiver=1, time=0)
+        state.transmit(sender=1, receiver=0, time=1)
+        assert state.is_aggregation_complete()
+        assert state.sink_coverage() == 3
+
+    def test_owners_and_remaining(self):
+        state = NetworkState([0, 1, 2], sink=0)
+        assert state.owners() == {0, 1, 2}
+        assert state.remaining_data_count() == 2
+        state.transmit(sender=1, receiver=0, time=0)
+        assert state.owners() == {0, 2}
+        assert state.remaining_data_count() == 1
+
+
+class TestNodeView:
+    def test_view_reflects_state(self):
+        state = NetworkState([0, 1], sink=0)
+        view = state.view(0)
+        assert view.is_sink
+        assert view.owns_data
+        assert view.id == 0
+
+    def test_view_memory_is_shared_with_state(self):
+        state = NetworkState([0, 1], sink=0)
+        view = state.view(1)
+        view.memory["marker"] = 42
+        assert state.memory[1]["marker"] == 42
+
+    def test_meet_time_for_sink_is_identity(self):
+        view = NodeView(id=0, is_sink=True, owns_data=True)
+        assert view.meet_time(17) == 17
+
+    def test_meet_time_without_oracle_raises(self):
+        view = NodeView(id=1, is_sink=False, owns_data=True)
+        with pytest.raises(KnowledgeError):
+            view.meet_time(0)
+
+    def test_future_without_oracle_raises(self):
+        view = NodeView(id=1, is_sink=False, owns_data=True)
+        with pytest.raises(KnowledgeError):
+            view.future()

@@ -1,0 +1,129 @@
+"""Tests for the experiment modules (reduced parameters for speed).
+
+Each experiment's verdict encodes the paper claim it reproduces; these tests
+run them at reduced scale so the full matrix stays fast, while the benchmark
+suite runs them at the default (larger) scale.
+"""
+
+import pytest
+
+from repro.experiments import (
+    EXPERIMENTS,
+    run_comparison,
+    run_corollary1,
+    run_cost_conversion,
+    run_lemma1,
+    run_theorem1,
+    run_theorem10,
+    run_theorem11,
+    run_theorem2,
+    run_theorem3,
+    run_theorem4,
+    run_theorem5,
+    run_theorem6,
+    run_theorem7,
+    run_theorem8,
+    run_theorem9_gathering,
+    run_theorem9_waiting,
+    run_experiment,
+)
+
+SMALL_NS = (12, 18, 27, 40)
+TRIALS = 8
+
+
+class TestRegistry:
+    def test_all_twenty_experiments_registered(self):
+        assert len(EXPERIMENTS) == 20
+        assert set(EXPERIMENTS) == {f"E{i}" for i in range(1, 21)}
+
+    def test_run_experiment_unknown_id(self):
+        with pytest.raises(KeyError):
+            run_experiment("E99")
+
+    def test_specs_have_claims(self):
+        assert all(spec.claim for spec in EXPERIMENTS.values())
+
+
+class TestImpossibilityExperiments:
+    def test_theorem1(self):
+        report = run_theorem1(horizon=1500)
+        assert report.verdict
+        assert report.tables[0].rows
+
+    def test_theorem2(self):
+        report = run_theorem2(n=10, horizon_cycles=30, trials=10, estimation_trials=60)
+        assert report.verdict
+
+    def test_theorem3(self):
+        report = run_theorem3(horizon=1500)
+        assert report.verdict
+
+
+class TestKnowledgeExperiments:
+    def test_theorem4(self):
+        report = run_theorem4(n=8, delay_rounds=(4, 8, 16))
+        assert report.verdict
+        costs = report.details["costs"]
+        assert costs[-1] > costs[0]
+
+    def test_theorem5(self):
+        report = run_theorem5(ns=(6, 10), trees_per_n=3, rounds=10)
+        assert report.verdict
+
+    def test_theorem6(self):
+        report = run_theorem6(ns=(6, 10), trials_per_n=2)
+        assert report.verdict
+
+
+class TestRandomizedExperiments:
+    def test_theorem7(self):
+        report = run_theorem7(ns=SMALL_NS, trials=TRIALS)
+        assert report.verdict
+        assert 1.6 <= report.details["fitted_exponent"] <= 2.4
+
+    def test_theorem8(self):
+        report = run_theorem8(ns=SMALL_NS, trials=TRIALS)
+        assert report.verdict
+
+    def test_corollary1(self):
+        report = run_corollary1(ns=SMALL_NS, trials=TRIALS)
+        assert report.verdict
+
+    def test_theorem9_waiting(self):
+        report = run_theorem9_waiting(ns=SMALL_NS, trials=TRIALS)
+        assert report.verdict
+
+    def test_theorem9_gathering(self):
+        report = run_theorem9_gathering(ns=SMALL_NS, trials=TRIALS)
+        assert report.verdict
+
+    def test_lemma1(self):
+        report = run_lemma1(ns=SMALL_NS, trials=TRIALS)
+        assert report.verdict
+
+    def test_theorem10(self):
+        report = run_theorem10(ns=SMALL_NS, trials=TRIALS)
+        assert report.verdict
+
+    def test_theorem11(self):
+        report = run_theorem11(ns=(16, 32, 48), trials=6)
+        assert report.verdict
+
+    def test_cost_conversion(self):
+        report = run_cost_conversion(ns=(12, 18, 27), trials=5)
+        assert report.verdict
+
+
+class TestComparison:
+    def test_comparison_ordering(self):
+        report = run_comparison(ns=(16, 28), trials=5)
+        assert report.verdict
+        last = report.details["means_at_largest_n"]
+        assert last["full_knowledge"] < last["gathering"]
+
+    def test_reports_render_to_markdown(self):
+        report = run_comparison(ns=(12,), trials=3)
+        text = report.to_markdown()
+        assert "E16" in text
+        assert "| n |" in text

@@ -1,0 +1,49 @@
+"""Tests for the extension / ablation experiments (E17–E20)."""
+
+import pytest
+
+from repro.experiments import (
+    run_nonuniform_adversary,
+    run_offline_crosscheck,
+    run_tau_tradeoff,
+    run_tree_order_ablation,
+)
+from repro.experiments.registry import EXPERIMENTS
+
+
+class TestExtensionRegistry:
+    def test_extensions_registered(self):
+        assert {"E17", "E18", "E19", "E20"} <= set(EXPERIMENTS)
+
+
+class TestOfflineCrosscheck:
+    def test_fast_opt_matches_brute_force(self):
+        report = run_offline_crosscheck(ns=(3, 4, 5), sequences_per_n=10, length=30)
+        assert report.verdict
+        for row in report.tables[0].rows:
+            assert row["agreements"] == row["instances"]
+
+
+class TestNonUniformAdversaryExperiment:
+    def test_skew_shifts_the_bounds(self):
+        report = run_nonuniform_adversary(n=24, trials=6)
+        assert report.verdict
+        means = report.details["means"]
+        assert means["active_sink_hub"]["gathering"] < means["uniform"]["gathering"]
+        assert means["lazy_sink"]["gathering"] > means["uniform"]["gathering"]
+
+
+class TestTauTradeoff:
+    def test_optimal_exponent_is_half(self):
+        report = run_tau_tradeoff(n=40, trials=5)
+        assert report.verdict
+        means = report.details["means"]
+        assert means[0.5] <= means[0.25]
+        assert means[0.5] <= means[0.75]
+
+
+class TestTreeOrderAblation:
+    def test_cost_one_for_every_order(self):
+        report = run_tree_order_ablation(n=10, trees=3, rounds=8)
+        assert report.verdict
+        assert all(row["cost"] == 1.0 for row in report.tables[0].rows)

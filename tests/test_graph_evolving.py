@@ -1,0 +1,66 @@
+"""Unit tests for the evolving-graph conversions."""
+
+import networkx as nx
+import pytest
+
+from repro.core.interaction import InteractionSequence
+from repro.graph.evolving_graph import (
+    aggregate_window,
+    from_evolving_graph,
+    snapshot_at,
+    to_evolving_graph,
+)
+
+
+class TestToEvolvingGraph:
+    def test_one_snapshot_per_interaction(self):
+        sequence = InteractionSequence.from_pairs([(0, 1), (1, 2)])
+        snapshots = to_evolving_graph(sequence, [0, 1, 2])
+        assert len(snapshots) == 2
+        assert snapshots[0].number_of_edges() == 1
+        assert snapshots[0].has_edge(0, 1)
+        assert snapshots[1].has_edge(1, 2)
+
+    def test_snapshots_contain_all_nodes(self):
+        sequence = InteractionSequence.from_pairs([(0, 1)])
+        snapshots = to_evolving_graph(sequence, [0, 1, 2, 3])
+        assert snapshots[0].number_of_nodes() == 4
+
+
+class TestFromEvolvingGraph:
+    def test_flatten_multi_edge_snapshots(self):
+        g1 = nx.Graph([(0, 1), (2, 3)])
+        g2 = nx.Graph([(1, 2)])
+        sequence = from_evolving_graph([g1, g2])
+        assert len(sequence) == 3
+        assert sequence[2].pair == frozenset({1, 2})
+
+    def test_sorted_edge_order_is_deterministic(self):
+        g = nx.Graph([(3, 2), (0, 1)])
+        sequence = from_evolving_graph([g])
+        assert sequence.pairs == [(0, 1), (2, 3)]
+
+    def test_unknown_edge_order_rejected(self):
+        with pytest.raises(ValueError):
+            from_evolving_graph([nx.Graph([(0, 1)])], edge_order="random")
+
+    def test_round_trip_single_edge_snapshots(self):
+        sequence = InteractionSequence.from_pairs([(0, 1), (1, 2), (0, 2)])
+        snapshots = to_evolving_graph(sequence, [0, 1, 2])
+        back = from_evolving_graph(snapshots)
+        assert back == sequence
+
+
+class TestWindows:
+    def test_snapshot_at(self):
+        sequence = InteractionSequence.from_pairs([(0, 1), (1, 2)])
+        snap = snapshot_at(sequence, [0, 1, 2], 1)
+        assert snap.has_edge(1, 2)
+        assert snapshot_at(sequence, [0, 1, 2], 10).number_of_edges() == 0
+
+    def test_aggregate_window(self):
+        sequence = InteractionSequence.from_pairs([(0, 1), (1, 2), (0, 2)])
+        window = aggregate_window(sequence, [0, 1, 2], 0, 2)
+        assert window.number_of_edges() == 2
+        full = aggregate_window(sequence, [0, 1, 2], 0, 99)
+        assert full.number_of_edges() == 3

@@ -1,0 +1,98 @@
+"""Unit tests for time-respecting journeys."""
+
+import math
+
+import pytest
+
+from repro.core.interaction import Interaction, InteractionSequence
+from repro.graph.journeys import (
+    Journey,
+    earliest_arrivals_from,
+    foremost_journey,
+    is_temporally_connected_to,
+    journey_exists,
+    temporal_reachability_matrix,
+)
+
+
+@pytest.fixture
+def chain_sequence():
+    """0-1 at t0, 1-2 at t1, 2-3 at t2: journeys only flow 0 -> 3."""
+    return InteractionSequence.from_pairs([(0, 1), (1, 2), (2, 3)])
+
+
+class TestJourneyObject:
+    def test_empty_journey_valid(self):
+        journey = Journey(source=1, target=1, hops=())
+        assert journey.is_valid()
+        assert journey.departure is None
+        assert journey.arrival is None
+
+    def test_valid_multi_hop_journey(self, chain_sequence):
+        journey = Journey(source=0, target=2, hops=(chain_sequence[0], chain_sequence[1]))
+        assert journey.is_valid()
+        assert journey.departure == 0
+        assert journey.arrival == 1
+        assert len(journey) == 2
+
+    def test_wrong_chaining_detected(self, chain_sequence):
+        journey = Journey(source=0, target=3, hops=(chain_sequence[0], chain_sequence[2]))
+        assert not journey.is_valid()
+
+    def test_non_increasing_times_detected(self):
+        hops = (Interaction(5, 0, 1), Interaction(5, 1, 2))
+        journey = Journey(source=0, target=2, hops=hops)
+        assert not journey.is_valid()
+
+
+class TestReachability:
+    def test_earliest_arrivals_chain(self, chain_sequence):
+        arrivals = earliest_arrivals_from(chain_sequence, 0, [0, 1, 2, 3])
+        assert arrivals[1] == 0
+        assert arrivals[2] == 1
+        assert arrivals[3] == 2
+
+    def test_reverse_direction_unreachable(self, chain_sequence):
+        arrivals = earliest_arrivals_from(chain_sequence, 3, [0, 1, 2, 3])
+        assert math.isinf(arrivals[0])
+        assert arrivals[2] == 2
+
+    def test_journey_exists(self, chain_sequence):
+        assert journey_exists(chain_sequence, 0, 3)
+        assert not journey_exists(chain_sequence, 3, 0)
+        assert journey_exists(chain_sequence, 2, 2)
+
+    def test_journey_exists_with_window(self, chain_sequence):
+        assert not journey_exists(chain_sequence, 0, 3, start=1)
+        assert journey_exists(chain_sequence, 1, 3, start=1)
+        assert not journey_exists(chain_sequence, 0, 2, end=0)
+
+    def test_foremost_journey_reconstruction(self, chain_sequence):
+        journey = foremost_journey(chain_sequence, 0, 3)
+        assert journey is not None
+        assert journey.is_valid()
+        assert journey.arrival == 2
+        assert [hop.time for hop in journey.hops] == [0, 1, 2]
+
+    def test_foremost_journey_none_when_unreachable(self, chain_sequence):
+        assert foremost_journey(chain_sequence, 3, 0) is None
+
+    def test_foremost_journey_same_node(self, chain_sequence):
+        journey = foremost_journey(chain_sequence, 1, 1)
+        assert journey is not None
+        assert len(journey) == 0
+
+    def test_temporal_reachability_matrix(self, chain_sequence):
+        matrix = temporal_reachability_matrix(chain_sequence, [0, 1, 2, 3])
+        assert matrix[0] == {0, 1, 2, 3}
+        # Node 3 can still reach 2 through the last interaction, but nothing
+        # earlier on the chain.
+        assert matrix[3] == {2, 3}
+        assert matrix[2] == {1, 2, 3}
+        assert matrix[1] == {0, 1, 2, 3}
+
+    def test_temporally_connected_to_sink(self):
+        towards_zero = InteractionSequence.from_pairs([(3, 2), (2, 1), (1, 0)])
+        assert is_temporally_connected_to(towards_zero, [0, 1, 2, 3], target=0)
+        away_from_zero = InteractionSequence.from_pairs([(1, 0), (2, 1), (3, 2)])
+        assert not is_temporally_connected_to(away_from_zero, [0, 1, 2, 3], target=0)

@@ -1,0 +1,108 @@
+"""Unit tests for contact-trace CSV loading and saving."""
+
+import io
+
+import pytest
+
+from repro.core.exceptions import ConfigurationError
+from repro.graph.trace_io import (
+    load_contact_csv,
+    save_contact_csv,
+    sequence_from_contact_events,
+)
+from repro.graph.traces import BodyAreaNetworkTrace
+from repro.algorithms.gathering import Gathering
+from repro.core.execution import Executor
+
+
+class TestSequenceFromEvents:
+    def test_events_sorted_by_time(self):
+        sequence = sequence_from_contact_events([(5.0, 1, 2), (1.0, 0, 1)])
+        assert sequence.pairs == [(0, 1), (1, 2)]
+
+    def test_simultaneous_events_deterministic(self):
+        a = sequence_from_contact_events([(1.0, 3, 4), (1.0, 0, 1)])
+        b = sequence_from_contact_events([(1.0, 0, 1), (1.0, 3, 4)])
+        assert a == b
+
+    def test_empty(self):
+        assert len(sequence_from_contact_events([])) == 0
+
+
+class TestLoadCsv:
+    def test_load_with_header(self):
+        text = "time,u,v\n0,1,2\n1,2,0\n2,1,0\n"
+        graph = load_contact_csv(io.StringIO(text), sink=0)
+        assert graph.size == 3
+        assert graph.length == 3
+        assert graph.sink == 0
+
+    def test_load_without_header(self):
+        text = "0,1,2\n1,2,0\n"
+        graph = load_contact_csv(io.StringIO(text), sink=0)
+        assert graph.length == 2
+
+    def test_string_identifiers_preserved(self):
+        text = "time,u,v\n0,hub,sensor-1\n1,sensor-1,sensor-2\n"
+        graph = load_contact_csv(io.StringIO(text), sink="hub")
+        assert "sensor-2" in graph.nodes
+
+    def test_out_of_order_timestamps_sorted(self):
+        text = "time,u,v\n9,1,2\n1,0,1\n"
+        graph = load_contact_csv(io.StringIO(text), sink=0)
+        assert graph.sequence.pairs == [(0, 1), (1, 2)]
+
+    def test_sink_added_even_if_absent_from_trace(self):
+        text = "0,1,2\n"
+        graph = load_contact_csv(io.StringIO(text), sink=99)
+        assert 99 in graph.nodes
+
+    def test_explicit_node_set_checked(self):
+        text = "0,1,2\n"
+        with pytest.raises(ConfigurationError):
+            load_contact_csv(io.StringIO(text), sink=0, nodes=[0, 1])
+
+    def test_malformed_row_rejected(self):
+        with pytest.raises(ConfigurationError):
+            load_contact_csv(io.StringIO("0,1\n"), sink=0)
+
+    def test_non_numeric_time_rejected(self):
+        with pytest.raises(ConfigurationError):
+            load_contact_csv(io.StringIO("0,1,2\nxx,1,2\n"), sink=0)
+
+    def test_blank_lines_skipped(self):
+        text = "time,u,v\n\n0,1,2\n\n1,1,0\n"
+        graph = load_contact_csv(io.StringIO(text), sink=0)
+        assert graph.length == 2
+
+    def test_load_from_path(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        path.write_text("time,u,v\n0,1,0\n1,2,0\n")
+        graph = load_contact_csv(path, sink=0)
+        assert graph.length == 2
+
+
+class TestRoundTrip:
+    def test_save_and_reload(self, tmp_path):
+        original = BodyAreaNetworkTrace(sensor_count=5, cycles=6, seed=1).build()
+        path = tmp_path / "body.csv"
+        save_contact_csv(original, path)
+        reloaded = load_contact_csv(path, sink="hub")
+        assert reloaded.sequence.pairs == original.sequence.pairs
+        assert set(reloaded.nodes) == set(original.nodes)
+
+    def test_reloaded_trace_is_runnable(self, tmp_path):
+        original = BodyAreaNetworkTrace(sensor_count=5, cycles=10, seed=1).build()
+        path = tmp_path / "body.csv"
+        save_contact_csv(original, path)
+        reloaded = load_contact_csv(path, sink="hub")
+        result = Executor(reloaded.nodes, reloaded.sink, Gathering()).run(
+            reloaded.sequence
+        )
+        assert result.terminated
+
+    def test_save_to_stringio(self):
+        original = BodyAreaNetworkTrace(sensor_count=4, cycles=3, seed=0).build()
+        buffer = io.StringIO()
+        save_contact_csv(original, buffer)
+        assert buffer.getvalue().startswith("time,u,v")

@@ -1,0 +1,72 @@
+"""Unit and cross-check tests for the brute-force offline optimum."""
+
+import math
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.interaction import InteractionSequence
+from repro.graph.generators import uniform_random_sequence
+from repro.offline.brute_force import brute_force_opt, brute_force_schedule_exists
+from repro.offline.convergecast import opt as fast_opt
+
+
+class TestBruteForceBasics:
+    def test_line_towards_sink(self):
+        sequence = InteractionSequence.from_pairs([(3, 2), (2, 1), (1, 0)])
+        assert brute_force_opt(sequence, [0, 1, 2, 3], 0) == 2
+
+    def test_impossible_is_infinite(self):
+        sequence = InteractionSequence.from_pairs([(1, 2)])
+        assert math.isinf(brute_force_opt(sequence, [0, 1, 2], 0))
+
+    def test_two_node_instance(self):
+        sequence = InteractionSequence.from_pairs([(1, 2), (0, 1)])
+        assert brute_force_opt(sequence, [0, 1], 0) == 1
+
+    def test_single_node_trivial(self):
+        sequence = InteractionSequence.empty()
+        assert brute_force_opt(sequence, [0], 0) == 0
+
+    def test_start_offset(self):
+        sequence = InteractionSequence.from_pairs([(1, 0), (2, 0), (1, 0)])
+        assert brute_force_opt(sequence, [0, 1, 2], 0, start=0) == 1
+        assert brute_force_opt(sequence, [0, 1, 2], 0, start=1) == 2
+
+    def test_schedule_exists_deadline(self):
+        sequence = InteractionSequence.from_pairs([(2, 1), (1, 0), (2, 0)])
+        assert not brute_force_schedule_exists(sequence, [0, 1, 2], 0, deadline=0)
+        assert brute_force_schedule_exists(sequence, [0, 1, 2], 0, deadline=1)
+
+    def test_state_explosion_guard(self):
+        sequence = uniform_random_sequence(list(range(12)), 400, seed=0)
+        with pytest.raises(MemoryError):
+            brute_force_opt(sequence, list(range(12)), 0, max_states=50)
+
+
+class TestCrossCheckAgainstFastOpt:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_agrees_on_random_instances(self, seed):
+        nodes = list(range(5))
+        sequence = uniform_random_sequence(nodes, 35, seed=seed)
+        fast = fast_opt(sequence, nodes, 0)
+        brute = brute_force_opt(sequence, nodes, 0)
+        assert fast == brute or (math.isinf(fast) and math.isinf(brute))
+
+    @settings(max_examples=40, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        n=st.integers(min_value=3, max_value=5),
+        length=st.integers(min_value=1, max_value=25),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    def test_agrees_property(self, n, length, seed):
+        nodes = list(range(n))
+        sequence = uniform_random_sequence(nodes, length, seed=seed)
+        fast = fast_opt(sequence, nodes, 0)
+        brute = brute_force_opt(sequence, nodes, 0)
+        if math.isinf(fast) or math.isinf(brute):
+            assert math.isinf(fast) and math.isinf(brute)
+        else:
+            assert fast == brute

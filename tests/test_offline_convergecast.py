@@ -1,0 +1,172 @@
+"""Unit tests for the offline optimum (convergecast) computations."""
+
+import math
+
+import pytest
+
+from repro.core.exceptions import InvalidScheduleError
+from repro.core.interaction import InteractionSequence
+from repro.graph.generators import uniform_random_sequence
+from repro.offline.broadcast import (
+    broadcast_completion_time,
+    broadcast_informed_sets,
+    informed_count_after,
+)
+from repro.offline.convergecast import (
+    INFINITY,
+    build_convergecast_schedule,
+    convergecast_possible,
+    foremost_arrival_times,
+    opt,
+    successive_convergecasts,
+)
+from repro.offline.schedule import validate_schedule
+
+
+class TestForemostArrivals:
+    def test_line_towards_sink(self):
+        sequence = InteractionSequence.from_pairs([(3, 2), (2, 1), (1, 0)])
+        arrivals = foremost_arrival_times(sequence, [0, 1, 2, 3], 0)
+        assert arrivals[3] == 2
+        assert arrivals[2] == 2
+        assert arrivals[1] == 2
+
+    def test_line_away_from_sink_unreachable(self):
+        sequence = InteractionSequence.from_pairs([(1, 0), (2, 1), (3, 2)])
+        arrivals = foremost_arrival_times(sequence, [0, 1, 2, 3], 0)
+        assert arrivals[1] == 0
+        assert math.isinf(arrivals[2])
+        assert math.isinf(arrivals[3])
+
+    def test_start_offset(self):
+        sequence = InteractionSequence.from_pairs([(1, 0), (1, 0), (2, 1)])
+        arrivals = foremost_arrival_times(sequence, [0, 1, 2], 0, start=1)
+        assert arrivals[1] == 1
+        assert math.isinf(arrivals[2])
+
+    def test_direct_meeting(self):
+        sequence = InteractionSequence.from_pairs([(2, 0), (1, 0)])
+        arrivals = foremost_arrival_times(sequence, [0, 1, 2], 0)
+        assert arrivals[2] == 0
+        assert arrivals[1] == 1
+
+
+class TestOpt:
+    def test_opt_on_line(self):
+        sequence = InteractionSequence.from_pairs([(3, 2), (2, 1), (1, 0)])
+        assert opt(sequence, [0, 1, 2, 3], 0) == 2
+
+    def test_opt_infinite_when_impossible(self):
+        sequence = InteractionSequence.from_pairs([(1, 0)])
+        assert math.isinf(opt(sequence, [0, 1, 2], 0))
+
+    def test_opt_beyond_sequence_is_infinite(self):
+        sequence = InteractionSequence.from_pairs([(1, 0)])
+        assert math.isinf(opt(sequence, [0, 1], 0, start=5))
+
+    def test_opt_two_nodes(self):
+        sequence = InteractionSequence.from_pairs([(1, 2), (1, 0)])
+        assert opt(sequence, [0, 1], 0) == 1
+
+    def test_opt_uses_only_window_from_start(self):
+        sequence = InteractionSequence.from_pairs([(2, 1), (1, 0), (2, 1), (1, 0)])
+        assert opt(sequence, [0, 1, 2], 0) == 1
+        assert opt(sequence, [0, 1, 2], 0, start=1) == 3
+        assert opt(sequence, [0, 1, 2], 0, start=2) == 3
+
+    def test_convergecast_possible_window(self):
+        sequence = InteractionSequence.from_pairs([(2, 1), (1, 0), (2, 0)])
+        assert convergecast_possible(sequence, [0, 1, 2], 0, start=0, end=1)
+        assert not convergecast_possible(sequence, [0, 1, 2], 0, start=1, end=1)
+        assert convergecast_possible(sequence, [0, 1, 2], 0, start=1)
+
+
+class TestScheduleConstruction:
+    def test_schedule_matches_opt_on_line(self):
+        sequence = InteractionSequence.from_pairs([(3, 2), (2, 1), (1, 0)])
+        schedule = build_convergecast_schedule(sequence, [0, 1, 2, 3], 0)
+        assert schedule.completion_time == opt(sequence, [0, 1, 2, 3], 0)
+        assert validate_schedule(schedule, sequence, [0, 1, 2, 3], 0) == 2
+
+    def test_schedule_every_node_transmits_once(self):
+        sequence = uniform_random_sequence(list(range(7)), 300, seed=5)
+        schedule = build_convergecast_schedule(sequence, list(range(7)), 0)
+        assert schedule.senders() == set(range(1, 7))
+        validate_schedule(schedule, sequence, list(range(7)), 0)
+
+    def test_schedule_completion_equals_opt_on_random_sequences(self):
+        for seed in range(5):
+            sequence = uniform_random_sequence(list(range(6)), 200, seed=seed)
+            optimum = opt(sequence, list(range(6)), 0)
+            schedule = build_convergecast_schedule(sequence, list(range(6)), 0)
+            assert schedule.completion_time == optimum
+
+    def test_schedule_raises_when_impossible(self):
+        sequence = InteractionSequence.from_pairs([(1, 0)])
+        with pytest.raises(InvalidScheduleError):
+            build_convergecast_schedule(sequence, [0, 1, 2], 0)
+
+    def test_schedule_with_start_offset(self):
+        sequence = InteractionSequence.from_pairs(
+            [(2, 1), (1, 0), (2, 1), (1, 0), (2, 0)]
+        )
+        schedule = build_convergecast_schedule(sequence, [0, 1, 2], 0, start=2)
+        assert schedule.start == 2
+        assert all(t.time >= 2 for t in schedule.transmissions)
+        validate_schedule(schedule, sequence, [0, 1, 2], 0)
+
+
+class TestSuccessiveConvergecasts:
+    def test_two_convergecasts(self):
+        sequence = InteractionSequence.from_pairs([(2, 1), (1, 0), (2, 1), (1, 0)])
+        values = successive_convergecasts(sequence, [0, 1, 2], 0, count=3)
+        assert values[0] == 1
+        assert values[1] == 3
+        assert math.isinf(values[2])
+
+    def test_unbounded_count_terminates(self):
+        sequence = InteractionSequence.from_pairs([(2, 1), (1, 0)] * 5)
+        values = successive_convergecasts(sequence, [0, 1, 2], 0)
+        finite = [v for v in values if not math.isinf(v)]
+        assert len(finite) == 5
+
+
+class TestBroadcast:
+    def test_flooding_on_line(self):
+        sequence = InteractionSequence.from_pairs([(0, 1), (1, 2), (2, 3)])
+        assert broadcast_completion_time(sequence, 0, [0, 1, 2, 3]) == 2
+
+    def test_flooding_incomplete(self):
+        sequence = InteractionSequence.from_pairs([(0, 1)])
+        assert math.isinf(broadcast_completion_time(sequence, 0, [0, 1, 2]))
+
+    def test_informed_sets_growth(self):
+        sequence = InteractionSequence.from_pairs([(0, 1), (2, 3), (1, 2)])
+        history = broadcast_informed_sets(sequence, 0)
+        assert history[0] == {0}
+        assert history[1] == {0, 1}
+        assert history[2] == {0, 1}
+        assert history[3] == {0, 1, 2}
+
+    def test_informed_count_after(self):
+        sequence = InteractionSequence.from_pairs([(0, 1), (1, 2), (2, 3)])
+        assert informed_count_after(sequence, 0, horizon=2) == 3
+
+    def test_duality_convergecast_window_iff_reversed_flood_covers(self):
+        # The duality used by Theorem 8: a convergecast fits in the window
+        # [0, T] iff flooding from the sink over the reversed window reaches
+        # every node.  Check it at T = opt(0) (must cover) and T = opt(0)-1
+        # (must not cover).
+        nodes = list(range(6))
+        for seed in range(5):
+            sequence = uniform_random_sequence(nodes, 150, seed=seed)
+            forward_opt = opt(sequence, nodes, 0)
+            assert not math.isinf(forward_opt)
+            tight_window = sequence.slice(0, int(forward_opt) + 1).reversed()
+            assert not math.isinf(
+                broadcast_completion_time(tight_window, 0, nodes)
+            )
+            short_window = sequence.slice(0, int(forward_opt)).reversed()
+            assert math.isinf(
+                broadcast_completion_time(short_window, 0, nodes)
+            )

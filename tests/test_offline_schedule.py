@@ -1,0 +1,111 @@
+"""Unit tests for aggregation schedules and their validation."""
+
+import pytest
+
+from repro.core.exceptions import InvalidScheduleError
+from repro.core.interaction import InteractionSequence
+from repro.offline.schedule import (
+    AggregationSchedule,
+    ScheduledTransmission,
+    validate_schedule,
+)
+
+
+@pytest.fixture
+def line_sequence():
+    return InteractionSequence.from_pairs([(3, 2), (2, 1), (1, 0)])
+
+
+def make_schedule(*triples):
+    return AggregationSchedule.from_transmissions(
+        ScheduledTransmission(time=t, sender=s, receiver=r) for t, s, r in triples
+    )
+
+
+class TestScheduleObject:
+    def test_completion_time_and_duration(self):
+        schedule = make_schedule((0, 3, 2), (1, 2, 1), (2, 1, 0))
+        assert schedule.completion_time == 2
+        assert schedule.duration == 3
+
+    def test_empty_schedule(self):
+        schedule = AggregationSchedule(transmissions=())
+        assert schedule.completion_time is None
+        assert schedule.duration == 0
+
+    def test_senders_and_transmission_of(self):
+        schedule = make_schedule((0, 3, 2), (1, 2, 1))
+        assert schedule.senders() == {3, 2}
+        assert schedule.transmission_of(3).receiver == 2
+        assert schedule.transmission_of(9) is None
+
+    def test_from_transmissions_sorts_by_time(self):
+        schedule = make_schedule((2, 1, 0), (0, 3, 2), (1, 2, 1))
+        assert [t.time for t in schedule.transmissions] == [0, 1, 2]
+
+
+class TestValidation:
+    def test_valid_line_schedule(self, line_sequence):
+        schedule = make_schedule((0, 3, 2), (1, 2, 1), (2, 1, 0))
+        assert validate_schedule(schedule, line_sequence, [0, 1, 2, 3], 0) == 2
+
+    def test_missing_sender_rejected(self, line_sequence):
+        schedule = make_schedule((0, 3, 2), (2, 1, 0))
+        with pytest.raises(InvalidScheduleError):
+            validate_schedule(schedule, line_sequence, [0, 1, 2, 3], 0)
+
+    def test_sink_transmission_rejected(self, line_sequence):
+        schedule = make_schedule((2, 0, 1))
+        with pytest.raises(InvalidScheduleError):
+            validate_schedule(schedule, line_sequence, [0, 1], 0)
+
+    def test_wrong_pair_rejected(self, line_sequence):
+        schedule = make_schedule((0, 1, 0), (1, 2, 1), (2, 3, 2))
+        with pytest.raises(InvalidScheduleError):
+            validate_schedule(schedule, line_sequence, [0, 1, 2, 3], 0)
+
+    def test_double_transmission_rejected(self):
+        sequence = InteractionSequence.from_pairs([(1, 0), (1, 0), (2, 0)])
+        schedule = make_schedule((0, 1, 0), (1, 1, 0), (2, 2, 0))
+        with pytest.raises(InvalidScheduleError):
+            validate_schedule(schedule, sequence, [0, 1, 2], 0)
+
+    def test_receiver_already_transmitted_rejected(self):
+        sequence = InteractionSequence.from_pairs([(2, 1), (1, 0), (3, 2)])
+        # 2 transmits at time 0, then is scheduled to receive at time 2.
+        schedule = make_schedule((0, 2, 1), (1, 1, 0), (2, 3, 2))
+        with pytest.raises(InvalidScheduleError):
+            validate_schedule(schedule, sequence, [0, 1, 2, 3], 0)
+
+    def test_time_beyond_sequence_rejected(self, line_sequence):
+        schedule = make_schedule((0, 3, 2), (1, 2, 1), (9, 1, 0))
+        with pytest.raises(InvalidScheduleError):
+            validate_schedule(schedule, line_sequence, [0, 1, 2, 3], 0)
+
+    def test_time_before_start_rejected(self, line_sequence):
+        schedule = AggregationSchedule.from_transmissions(
+            [
+                ScheduledTransmission(0, 3, 2),
+                ScheduledTransmission(1, 2, 1),
+                ScheduledTransmission(2, 1, 0),
+            ],
+            start=1,
+        )
+        with pytest.raises(InvalidScheduleError):
+            validate_schedule(schedule, line_sequence, [0, 1, 2, 3], 0)
+
+    def test_unknown_nodes_rejected(self, line_sequence):
+        schedule = make_schedule((0, 9, 2))
+        with pytest.raises(InvalidScheduleError):
+            validate_schedule(schedule, line_sequence, [0, 1, 2, 3], 0)
+
+    def test_same_time_two_transmissions_rejected(self):
+        sequence = InteractionSequence.from_pairs([(1, 0), (2, 0)])
+        schedule = AggregationSchedule(
+            transmissions=(
+                ScheduledTransmission(0, 1, 0),
+                ScheduledTransmission(0, 2, 0),
+            )
+        )
+        with pytest.raises(InvalidScheduleError):
+            validate_schedule(schedule, sequence, [0, 1, 2], 0)

@@ -1,0 +1,239 @@
+"""Property-based tests (hypothesis) for the core invariants.
+
+The invariants exercised here are the ones every other result builds on:
+
+* executor invariants — no node transmits twice, live tokens partition the
+  origin set, and termination means the sink holds exactly everything;
+* offline optimum invariants — the constructed convergecast schedule is
+  always valid and its completion time equals ``opt``; ``opt`` is monotone
+  in the start time; the broadcast/convergecast reversal duality holds;
+* cost invariants — cost is at least 1, and equals 1 exactly when the
+  duration is within the first convergecast;
+* data-token algebra — aggregation never loses or duplicates origins.
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.gathering import Gathering
+from repro.algorithms.waiting import Waiting
+from repro.core.cost import cost_of_result
+from repro.core.data import DataToken
+from repro.core.execution import run_algorithm
+from repro.core.interaction import InteractionSequence
+from repro.offline.broadcast import broadcast_completion_time
+from repro.offline.convergecast import (
+    build_convergecast_schedule,
+    foremost_arrival_times,
+    opt,
+)
+from repro.offline.schedule import validate_schedule
+
+# ---------------------------------------------------------------------- #
+# Strategies
+# ---------------------------------------------------------------------- #
+
+
+@st.composite
+def interaction_sequences(draw, min_nodes=3, max_nodes=7, min_len=1, max_len=80):
+    """A random node count and a random sequence of pairwise interactions."""
+    n = draw(st.integers(min_value=min_nodes, max_value=max_nodes))
+    length = draw(st.integers(min_value=min_len, max_value=max_len))
+    pairs = []
+    for _ in range(length):
+        u = draw(st.integers(min_value=0, max_value=n - 1))
+        v = draw(st.integers(min_value=0, max_value=n - 2))
+        if v >= u:
+            v += 1
+        pairs.append((u, v))
+    return n, InteractionSequence.from_pairs(pairs)
+
+
+common_settings = settings(
+    max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+# ---------------------------------------------------------------------- #
+# Executor invariants
+# ---------------------------------------------------------------------- #
+
+
+@common_settings
+@given(data=interaction_sequences())
+def test_executor_single_transmission_per_node(data):
+    n, sequence = data
+    result = run_algorithm(Gathering(), sequence, list(range(n)), sink=0)
+    senders = [t.sender for t in result.transmissions]
+    assert len(senders) == len(set(senders))
+    assert 0 not in senders
+
+
+@common_settings
+@given(data=interaction_sequences())
+def test_executor_termination_means_full_coverage(data):
+    n, sequence = data
+    result = run_algorithm(Gathering(), sequence, list(range(n)), sink=0)
+    if result.terminated:
+        assert result.sink_coverage == n
+        assert result.transmission_count == n - 1
+        assert result.duration == result.transmissions[-1].time + 1
+    else:
+        assert result.sink_coverage < n
+
+
+@common_settings
+@given(data=interaction_sequences())
+def test_executor_waiting_transmissions_only_to_sink(data):
+    n, sequence = data
+    result = run_algorithm(Waiting(), sequence, list(range(n)), sink=0)
+    assert all(t.receiver == 0 for t in result.transmissions)
+
+
+@common_settings
+@given(data=interaction_sequences())
+def test_no_online_algorithm_beats_the_offline_optimum(data):
+    # Whenever an online run terminates, its last transmission cannot happen
+    # before the offline optimum's completion time (opt is a true optimum).
+    n, sequence = data
+    nodes = list(range(n))
+    result = run_algorithm(Gathering(), sequence, nodes, sink=0)
+    optimum = opt(sequence, nodes, 0)
+    if result.terminated:
+        assert not math.isinf(optimum)
+        assert result.duration - 1 >= optimum
+
+
+# ---------------------------------------------------------------------- #
+# Offline optimum invariants
+# ---------------------------------------------------------------------- #
+
+
+@common_settings
+@given(data=interaction_sequences())
+def test_convergecast_schedule_valid_and_tight(data):
+    n, sequence = data
+    nodes = list(range(n))
+    optimum = opt(sequence, nodes, 0)
+    if math.isinf(optimum):
+        return
+    schedule = build_convergecast_schedule(sequence, nodes, 0)
+    completion = validate_schedule(schedule, sequence, nodes, 0)
+    assert completion == optimum
+
+
+@common_settings
+@given(data=interaction_sequences())
+def test_opt_monotone_in_start(data):
+    n, sequence = data
+    nodes = list(range(n))
+    previous = opt(sequence, nodes, 0, start=0)
+    for start in range(1, min(len(sequence), 10)):
+        current = opt(sequence, nodes, 0, start=start)
+        assert current >= previous or math.isinf(current)
+        previous = current
+
+
+@common_settings
+@given(data=interaction_sequences())
+def test_foremost_arrivals_lower_bound_opt(data):
+    n, sequence = data
+    nodes = list(range(n))
+    arrivals = foremost_arrival_times(sequence, nodes, 0)
+    optimum = opt(sequence, nodes, 0)
+    finite = [a for node, a in arrivals.items() if node != 0]
+    if any(math.isinf(a) for a in finite):
+        assert math.isinf(optimum)
+    else:
+        assert optimum == max(finite)
+
+
+@common_settings
+@given(data=interaction_sequences())
+def test_convergecast_broadcast_duality(data):
+    n, sequence = data
+    nodes = list(range(n))
+    optimum = opt(sequence, nodes, 0)
+    reversed_full = sequence.reversed()
+    flood = broadcast_completion_time(reversed_full, 0, nodes)
+    # A convergecast exists in the whole sequence iff a flood from the sink
+    # covers everything in the reversed sequence.
+    assert math.isinf(optimum) == math.isinf(flood)
+
+
+@common_settings
+@given(data=interaction_sequences())
+def test_full_knowledge_algorithm_achieves_opt(data):
+    from repro.algorithms.full_knowledge import FullKnowledge
+    from repro.core.execution import Executor
+    from repro.knowledge import FullKnowledge as FullKnowledgeOracle
+    from repro.knowledge import KnowledgeBundle
+
+    n, sequence = data
+    nodes = list(range(n))
+    optimum = opt(sequence, nodes, 0)
+    knowledge = KnowledgeBundle(FullKnowledgeOracle(sequence))
+    executor = Executor(nodes, 0, FullKnowledge(), knowledge=knowledge)
+    result = executor.run(sequence)
+    if math.isinf(optimum):
+        assert not result.terminated
+    else:
+        assert result.terminated
+        assert result.duration == optimum + 1
+
+
+# ---------------------------------------------------------------------- #
+# Cost invariants
+# ---------------------------------------------------------------------- #
+
+
+@common_settings
+@given(data=interaction_sequences())
+def test_cost_at_least_one_and_one_iff_optimal(data):
+    n, sequence = data
+    nodes = list(range(n))
+    result = run_algorithm(Gathering(), sequence, nodes, sink=0)
+    if not result.terminated:
+        return
+    breakdown = cost_of_result(result, sequence, nodes, 0)
+    assert breakdown.cost >= 1.0
+    optimum = opt(sequence, nodes, 0)
+    if breakdown.cost == 1.0:
+        assert result.duration - 1 <= optimum
+    else:
+        assert result.duration - 1 > optimum
+
+
+# ---------------------------------------------------------------------- #
+# Data-token algebra
+# ---------------------------------------------------------------------- #
+
+
+@common_settings
+@given(
+    groups=st.lists(
+        st.lists(st.integers(min_value=0, max_value=40), min_size=1, unique=True),
+        min_size=2,
+        max_size=6,
+    )
+)
+def test_token_aggregation_preserves_origins(groups):
+    # Make the groups disjoint by offsetting each group's elements.
+    disjoint = []
+    offset = 0
+    for group in groups:
+        disjoint.append([offset + i for i in range(len(group))])
+        offset += len(group)
+    tokens = [
+        DataToken(origins=frozenset(group), payload=float(len(group)))
+        for group in disjoint
+    ]
+    combined = tokens[0]
+    for token in tokens[1:]:
+        combined = combined.aggregate(token)
+    assert combined.origins == frozenset().union(*map(frozenset, disjoint))
+    assert combined.payload == sum(len(group) for group in disjoint)
