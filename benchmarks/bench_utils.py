@@ -12,11 +12,16 @@ saved benchmark JSON as well.
 
 from __future__ import annotations
 
-from typing import Callable
+import json
+from pathlib import Path
+from typing import Callable, Dict
 
 import pytest
 
 from repro.sim.results import ExperimentReport
+
+#: Directory holding the ``BENCH_*.json`` trajectory files.
+BENCH_DIR = Path(__file__).resolve().parent
 
 
 def run_experiment_benchmark(
@@ -34,3 +39,25 @@ def run_experiment_benchmark(
     print()
     print(report.to_markdown())
     return report
+
+
+def record_bench_trajectory(name: str, record: Dict) -> Path:
+    """Append one record to the ``BENCH_<name>.json`` trajectory file.
+
+    Each trajectory file is a JSON list; every benchmark run appends one
+    record, so successive runs build a wall-clock history (e.g. the
+    reference-vs-fast engine timings) that can be compared across commits.
+    Returns the path written.
+    """
+    path = BENCH_DIR / f"BENCH_{name}.json"
+    if path.exists():
+        trajectory = json.loads(path.read_text(encoding="utf-8"))
+        if not isinstance(trajectory, list):
+            trajectory = [trajectory]
+    else:
+        trajectory = []
+    trajectory.append(record)
+    path.write_text(
+        json.dumps(trajectory, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return path

@@ -1,0 +1,126 @@
+"""Differential benchmark: fast execution engine vs. reference executor.
+
+Runs the same ``gathering`` / ``waiting_greedy`` randomized-adversary sweep
+(n >= 100) through both engines, asserts that the results are identical
+trial for trial, and that the fast engine is at least 3x faster overall.
+Timings are appended to the ``BENCH_engine.json`` trajectory so that the
+speedup can be tracked across commits.
+"""
+
+import time
+
+from repro.algorithms.gathering import Gathering
+from repro.algorithms.waiting_greedy import WaitingGreedy, optimal_tau
+from repro.sim.parallel import sweep_random_adversary as parallel_sweep
+from repro.sim.runner import sweep_random_adversary
+
+from bench_utils import record_bench_trajectory
+
+#: The benchmark sweep: acceptance requires n >= 100.
+BENCH_N = 120
+BENCH_TRIALS = 5
+MIN_SPEEDUP = 3.0
+#: Each engine is timed this many times and the best run is kept, so a
+#: single noisy measurement on a loaded machine cannot fail the gate.
+TIMING_ROUNDS = 3
+
+FACTORIES = {
+    "gathering": lambda n: Gathering(),
+    "waiting_greedy": lambda n: WaitingGreedy(tau=optimal_tau(n)),
+}
+
+
+def _timed_sweep(engine: str) -> "tuple":
+    """Run the benchmark sweep on one engine, best wall clock of N rounds.
+
+    The results are identical across rounds (fully seeded); only the timing
+    varies, and taking the minimum keeps the speedup gate robust against
+    one-off scheduling noise.
+    """
+    best = None
+    for _ in range(TIMING_ROUNDS):
+        started = time.perf_counter()
+        results = {
+            name: sweep_random_adversary(
+                factory,
+                ns=[BENCH_N],
+                trials=BENCH_TRIALS,
+                master_seed=7,
+                experiment="bench_engine",
+                engine=engine,
+            )
+            for name, factory in FACTORIES.items()
+        }
+        elapsed = time.perf_counter() - started
+        best = elapsed if best is None else min(best, elapsed)
+    return results, best
+
+
+def test_fast_engine_speedup_and_equality(benchmark):
+    """The fast engine reproduces the reference sweep >= 3x faster."""
+    reference, reference_seconds = _timed_sweep("reference")
+    (fast, fast_seconds) = benchmark.pedantic(
+        lambda: _timed_sweep("fast"), rounds=1, iterations=1, warmup_rounds=0
+    )
+    for name in FACTORIES:
+        for ref_point, fast_point in zip(
+            reference[name].points, fast[name].points
+        ):
+            assert fast_point.trials == ref_point.trials, name
+    speedup = reference_seconds / fast_seconds
+    benchmark.extra_info["n"] = BENCH_N
+    benchmark.extra_info["trials"] = BENCH_TRIALS
+    benchmark.extra_info["reference_seconds"] = reference_seconds
+    benchmark.extra_info["fast_seconds"] = fast_seconds
+    benchmark.extra_info["speedup"] = speedup
+    record_bench_trajectory(
+        "engine",
+        {
+            "n": BENCH_N,
+            "trials": BENCH_TRIALS,
+            "algorithms": sorted(FACTORIES),
+            "reference_seconds": round(reference_seconds, 6),
+            "fast_seconds": round(fast_seconds, 6),
+            "speedup": round(speedup, 3),
+        },
+    )
+    print(
+        f"\nengine benchmark (n={BENCH_N}, trials={BENCH_TRIALS}, "
+        f"algorithms={sorted(FACTORIES)}): reference {reference_seconds:.3f}s, "
+        f"fast {fast_seconds:.3f}s, speedup {speedup:.1f}x"
+    )
+    assert speedup >= MIN_SPEEDUP, (
+        f"fast engine speedup {speedup:.2f}x below the required "
+        f"{MIN_SPEEDUP:.0f}x (reference {reference_seconds:.3f}s, "
+        f"fast {fast_seconds:.3f}s)"
+    )
+
+
+def test_parallel_sweep_matches_serial(benchmark):
+    """workers > 1 reproduces the serial sweep bit for bit."""
+    factory = FACTORIES["gathering"]
+    serial = sweep_random_adversary(
+        factory,
+        ns=[BENCH_N],
+        trials=BENCH_TRIALS,
+        master_seed=7,
+        experiment="bench_engine",
+        engine="fast",
+    )
+    parallel = benchmark.pedantic(
+        lambda: parallel_sweep(
+            factory,
+            ns=[BENCH_N],
+            trials=BENCH_TRIALS,
+            master_seed=7,
+            experiment="bench_engine",
+            engine="fast",
+            workers=4,
+        ),
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    assert parallel.points[0].trials == serial.points[0].trials
+    benchmark.extra_info["workers"] = 4
+    benchmark.extra_info["identical_to_serial"] = True

@@ -55,6 +55,7 @@ from .core import (
     DataToken,
     ExecutionResult,
     Executor,
+    FastExecutor,
     Interaction,
     InteractionSequence,
     NetworkState,
@@ -109,6 +110,7 @@ __all__ = [
     "ExecutionResult",
     "Executor",
     "ExperimentReport",
+    "FastExecutor",
     "FullKnowledge",
     "FullKnowledgeOracle",
     "FutureBroadcast",

@@ -95,18 +95,30 @@ def geometric_sweep(start: int, stop: int, points: int) -> List[int]:
     """A geometric progression of integers from ``start`` to ``stop`` inclusive.
 
     Used to build ``n`` sweeps for the scaling experiments; duplicate values
-    caused by rounding are removed while preserving order.
+    caused by rounding are removed while preserving order, so the result is
+    always strictly increasing and ends exactly at ``stop``.
+
+    Raises:
+        ValueError: if ``start < 1``, ``stop < start`` or ``points < 1``.
     """
-    if start < 1 or stop < start or points < 1:
-        raise ValueError("invalid sweep parameters")
-    if points == 1:
+    if start < 1:
+        raise ValueError(f"sweep start must be >= 1, got {start}")
+    if stop < start:
+        raise ValueError(f"sweep stop ({stop}) must be >= start ({start})")
+    if points < 1:
+        raise ValueError(f"sweep needs at least one point, got {points}")
+    if points == 1 or start == stop:
         return [start]
     ratio = (stop / start) ** (1.0 / (points - 1))
     values: List[int] = []
     for index in range(points):
-        value = int(round(start * ratio ** index))
+        # Clamp so float error can never overshoot the endpoints; rounding
+        # collapse then only ever *drops* points instead of producing a
+        # non-increasing or duplicated tail.
+        value = min(max(int(round(start * ratio ** index)), start), stop)
         if not values or value > values[-1]:
             values.append(value)
     if values[-1] != stop:
+        # Safe: clamping guarantees values[-2] < values[-1] < stop here.
         values[-1] = stop
     return values

@@ -13,17 +13,28 @@ Usage examples::
 
     # one-off trial of an algorithm against the randomized adversary
     python -m repro trial gathering --n 100 --seed 3
+
+    # fast-engine n sweep across 4 worker processes
+    python -m repro sweep gathering --ns 50,100,200 --trials 20 \
+        --engine fast --workers 4
 """
 
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
 from typing import List, Optional
 
 from .core.algorithm import registry
 from .experiments.registry import EXPERIMENTS, run_experiment
-from .sim.runner import run_random_trial
+from .sim.parallel import sweep_random_adversary
+from .sim.runner import (
+    ENGINES,
+    resolve_engine,
+    run_random_trial,
+    validate_sweep_parameters,
+)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -35,6 +46,25 @@ def build_parser() -> argparse.ArgumentParser:
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
+    def add_engine_option(target: argparse.ArgumentParser) -> None:
+        target.add_argument(
+            "--engine",
+            choices=sorted(ENGINES),
+            default="reference",
+            help="execution engine: 'reference' is the semantics oracle, "
+            "'fast' produces identical results with far less per-interaction "
+            "overhead (default: reference)",
+        )
+
+    def add_workers_option(target: argparse.ArgumentParser) -> None:
+        target.add_argument(
+            "--workers",
+            type=int,
+            default=1,
+            help="worker processes for trial sweeps; results are identical "
+            "for any worker count (default: 1)",
+        )
+
     subparsers.add_parser("list", help="list available experiments and algorithms")
 
     run_parser = subparsers.add_parser("run", help="run one experiment by id (e.g. E11)")
@@ -42,11 +72,15 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument(
         "--output", help="write the markdown report to this file", default=None
     )
+    add_engine_option(run_parser)
+    add_workers_option(run_parser)
 
     all_parser = subparsers.add_parser("run-all", help="run every experiment")
     all_parser.add_argument(
         "--output", help="write the combined markdown report to this file", default=None
     )
+    add_engine_option(all_parser)
+    add_workers_option(all_parser)
 
     trial_parser = subparsers.add_parser(
         "trial", help="run one trial of an algorithm against the randomized adversary"
@@ -57,6 +91,29 @@ def build_parser() -> argparse.ArgumentParser:
     trial_parser.add_argument(
         "--tau", type=int, default=None, help="tau parameter (waiting_greedy only)"
     )
+    add_engine_option(trial_parser)
+
+    sweep_parser = subparsers.add_parser(
+        "sweep",
+        help="sweep n for one algorithm against the randomized adversary",
+    )
+    sweep_parser.add_argument("algorithm", help="registered algorithm name")
+    sweep_parser.add_argument(
+        "--ns",
+        default="16,24,36,54,80",
+        help="comma-separated values of n (default: 16,24,36,54,80)",
+    )
+    sweep_parser.add_argument(
+        "--trials", type=int, default=12, help="trials per n (default: 12)"
+    )
+    sweep_parser.add_argument(
+        "--master-seed", type=int, default=0, help="master seed (default: 0)"
+    )
+    sweep_parser.add_argument(
+        "--output", help="write the markdown table to this file", default=None
+    )
+    add_engine_option(sweep_parser)
+    add_workers_option(sweep_parser)
     return parser
 
 
@@ -75,7 +132,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     if args.command == "run":
-        report = run_experiment(args.experiment_id)
+        spec = EXPERIMENTS.get(args.experiment_id)
+        kwargs = _engine_kwargs(spec.runner, args) if spec is not None else {}
+        # Unknown identifiers fall through to run_experiment's KeyError.
+        report = run_experiment(args.experiment_id, **kwargs)
         text = report.to_markdown()
         _emit(text, args.output)
         return 0 if report.verdict else 1
@@ -84,28 +144,91 @@ def main(argv: Optional[List[str]] = None) -> int:
         sections = []
         all_ok = True
         for experiment_id in sorted(EXPERIMENTS, key=lambda e: int(e[1:])):
-            report = EXPERIMENTS[experiment_id].runner()
+            runner = EXPERIMENTS[experiment_id].runner
+            report = runner(**_engine_kwargs(runner, args))
             sections.append(report.to_markdown())
             all_ok = all_ok and report.verdict
         _emit("\n\n".join(sections), args.output)
         return 0 if all_ok else 1
 
     if args.command == "trial":
-        kwargs = {}
-        if args.algorithm == "waiting_greedy":
-            from .algorithms.waiting_greedy import optimal_tau
-
-            kwargs["tau"] = args.tau if args.tau is not None else optimal_tau(args.n)
-        algorithm = registry.create(args.algorithm, **kwargs)
-        metrics = run_random_trial(algorithm, args.n, args.seed)
+        algorithm = _create_algorithm(args.algorithm, args.n, tau=args.tau)
+        metrics = run_random_trial(algorithm, args.n, args.seed, engine=args.engine)
         print(
             f"algorithm={metrics.algorithm} n={metrics.n} terminated={metrics.terminated} "
             f"duration={metrics.duration} transmissions={metrics.transmissions}"
         )
         return 0 if metrics.terminated else 1
 
+    if args.command == "sweep":
+        try:
+            ns = [int(value) for value in args.ns.split(",") if value.strip()]
+        except ValueError:
+            parser.error(f"--ns must be a comma-separated list of integers, got {args.ns!r}")
+        try:
+            validate_sweep_parameters(ns, args.trials)
+            resolve_engine(args.engine)
+            if args.workers < 1:
+                raise ValueError(f"workers must be >= 1, got {args.workers}")
+            if args.algorithm not in registry.names():
+                raise ValueError(
+                    f"unknown algorithm {args.algorithm!r}; "
+                    f"available: {', '.join(registry.names())}"
+                )
+        except ValueError as error:
+            parser.error(str(error))
+        sweep = sweep_random_adversary(
+            lambda n: _create_algorithm(args.algorithm, n),
+            ns,
+            args.trials,
+            master_seed=args.master_seed,
+            engine=args.engine,
+            workers=args.workers,
+        )
+        _emit(sweep.to_table().to_markdown(), args.output)
+        return 0
+
     parser.error(f"unknown command {args.command!r}")
     return 2
+
+
+def _create_algorithm(name: str, n: int, tau: Optional[int] = None):
+    """Instantiate a registered algorithm, filling in per-``n`` parameters."""
+    kwargs = {}
+    if name == "waiting_greedy":
+        from .algorithms.waiting_greedy import optimal_tau
+
+        kwargs["tau"] = tau if tau is not None else optimal_tau(n)
+    return registry.create(name, **kwargs)
+
+
+def _engine_kwargs(runner, args) -> dict:
+    """The subset of ``--engine`` / ``--workers`` the runner understands.
+
+    Experiment runners opt into the knobs by declaring ``engine`` /
+    ``workers`` parameters; the others (offline/impossibility experiments)
+    run as before, and a note is printed when a non-default flag had to be
+    dropped so the user is never silently surprised.
+    """
+    parameters = inspect.signature(runner).parameters
+    kwargs = {}
+    if "engine" in parameters:
+        kwargs["engine"] = args.engine
+    elif args.engine != "reference":
+        print(
+            f"note: experiment {runner.__name__} is not wired for engine "
+            "selection; --engine ignored",
+            file=sys.stderr,
+        )
+    if "workers" in parameters:
+        kwargs["workers"] = args.workers
+    elif args.workers != 1:
+        print(
+            f"note: experiment {runner.__name__} is not wired for parallel "
+            "sweeps; --workers ignored",
+            file=sys.stderr,
+        )
+    return kwargs
 
 
 def _emit(text: str, output: Optional[str]) -> None:

@@ -52,6 +52,7 @@ from .execution import (
     Transmission,
     run_algorithm,
 )
+from .fast_execution import FastExecutor
 from .interaction import Interaction, InteractionSequence
 from .node import NetworkState, NodeView
 
@@ -66,6 +67,7 @@ __all__ = [
     "DataToken",
     "ExecutionResult",
     "Executor",
+    "FastExecutor",
     "HorizonExhaustedError",
     "Interaction",
     "InteractionProvider",

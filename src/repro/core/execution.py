@@ -78,7 +78,15 @@ class RecordingProvider:
             if len(self.recorded) == time:
                 self.recorded.append(interaction)
             elif time < len(self.recorded):
-                self.recorded[time] = interaction
+                # Re-querying a past time is allowed only if the provider
+                # answers consistently; silently overwriting history would
+                # let an adaptive adversary replay a different sequence than
+                # the one the executor actually played.
+                if self.recorded[time] != interaction:
+                    raise ModelViolationError(
+                        f"provider changed its answer for t={time}: recorded "
+                        f"{self.recorded[time]} but now produced {interaction}"
+                    )
             else:
                 raise ModelViolationError(
                     "interactions must be requested in consecutive time order"

@@ -1,0 +1,396 @@
+"""A fast drop-in execution engine for DODA algorithms.
+
+:class:`FastExecutor` reproduces :class:`~repro.core.execution.Executor`
+semantics exactly — same transmission log, same duration, same result fields,
+seed for seed — while removing the per-interaction Python overhead that
+dominates long randomized-adversary runs:
+
+* node identifiers are mapped to dense integer indices once per run, so the
+  hot loop works on plain list indexing instead of hashing identifiers;
+* the remaining-owner count is an O(1) counter instead of rebuilding the
+  ``owners()`` set after every transmission to test termination;
+* the two :class:`~repro.core.node.NodeView` objects handed to the algorithm
+  are allocated once and re-pointed at each interaction instead of being
+  rebuilt twice per decision — so algorithms must not retain a view object
+  beyond the ``decide`` call that received it (none of the registered
+  algorithms do; persistent per-node state belongs in ``view.memory``,
+  which is stable across the run under both engines);
+* interactions from a :class:`~repro.adversaries.randomized.RandomizedAdversary`
+  are consumed in numpy blocks (:meth:`committed_index_block`), skipping the
+  per-interaction :class:`~repro.core.interaction.Interaction` allocation
+  entirely;
+* data tokens are replaced by per-node origin counters and folded payloads,
+  which carry exactly the information the result needs.
+
+The reference :class:`Executor` remains the semantics oracle; the
+differential tests in ``tests/test_fast_execution.py`` assert equality of
+the two engines across all registered algorithms and seeds.
+
+Supported interaction sources: finite
+:class:`~repro.core.interaction.InteractionSequence` objects, the randomized
+adversary (batched), and any provider whose ``interaction_at`` only uses the
+read-only query API of :class:`~repro.core.node.NetworkState`
+(``owns_data``, ``has_transmitted``, ``owners``, ``remaining_data_count``),
+which covers the adaptive adversaries in :mod:`repro.adversaries`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Set, Tuple, Union
+
+from .algorithm import DODAAlgorithm
+from .data import AggregationFunction, NodeId, SUM
+from .exceptions import ConfigurationError, ModelViolationError
+from .execution import ExecutionResult, InteractionProvider, Transmission
+from .interaction import InteractionSequence, _canonical_pair
+from .node import NodeView
+
+#: Number of committed interactions fetched per batch from a randomized
+#: adversary.  Large enough to amortise the numpy slicing, small enough that
+#: an early termination does not force drawing far beyond the duration.
+_BLOCK = 4096
+
+
+class _StateFacade:
+    """Read-only NetworkState-compatible view over the fast engine's arrays.
+
+    Handed to generic interaction providers (adaptive adversaries) so they
+    can observe the execution exactly as they would observe the reference
+    executor's :class:`~repro.core.node.NetworkState`.
+    """
+
+    def __init__(self, run: "_RunState") -> None:
+        self._run = run
+
+    @property
+    def nodes(self) -> List[NodeId]:
+        return self._run.nodes
+
+    @property
+    def sink(self) -> NodeId:
+        return self._run.nodes[self._run.sink_index]
+
+    def owns_data(self, node: NodeId) -> bool:
+        return self._run.owns[self._run.index_of[node]]
+
+    def has_transmitted(self, node: NodeId) -> bool:
+        return self._run.transmitted_at[self._run.index_of[node]] is not None
+
+    def owners(self) -> Set[NodeId]:
+        run = self._run
+        return {node for node, owns in zip(run.nodes, run.owns) if owns}
+
+    def remaining_data_count(self) -> int:
+        return self._run.remaining
+
+    def is_aggregation_complete(self) -> bool:
+        return self._run.remaining == 0
+
+    def sink_coverage(self) -> int:
+        return self._run.coverage[self._run.sink_index]
+
+
+class _RunState:
+    """Dense per-run state: plain lists indexed by node position."""
+
+    __slots__ = (
+        "nodes",
+        "index_of",
+        "sink_index",
+        "owns",
+        "coverage",
+        "payload",
+        "memory",
+        "transmitted_at",
+        "remaining",
+    )
+
+    def __init__(
+        self,
+        nodes: List[NodeId],
+        sink: NodeId,
+        initial_payloads: Optional[Dict[NodeId, float]],
+    ) -> None:
+        if sink not in nodes:
+            raise ModelViolationError(f"sink {sink!r} is not among the nodes")
+        if len(set(nodes)) != len(nodes):
+            raise ModelViolationError("node identifiers must be unique")
+        if len(nodes) < 2:
+            raise ModelViolationError("a DODA instance needs at least 2 nodes")
+        payloads = initial_payloads or {}
+        self.nodes = nodes
+        self.index_of = {node: position for position, node in enumerate(nodes)}
+        self.sink_index = self.index_of[sink]
+        n = len(nodes)
+        self.owns = [True] * n
+        self.coverage = [1] * n
+        self.payload = [float(payloads.get(node, 1.0)) for node in nodes]
+        self.memory: List[Dict[str, Any]] = [{} for _ in range(n)]
+        self.transmitted_at: List[Optional[int]] = [None] * n
+        self.remaining = n - 1  # non-sink owners
+
+
+class FastExecutor:
+    """Run DODA algorithms fast while enforcing the interaction model.
+
+    Construction mirrors :class:`~repro.core.execution.Executor`; the two
+    classes are interchangeable wherever the interaction source is a finite
+    sequence, a randomized adversary, or a provider that only reads the
+    network state through its query methods.
+    """
+
+    def __init__(
+        self,
+        nodes: Iterable[NodeId],
+        sink: NodeId,
+        algorithm: DODAAlgorithm,
+        aggregation: AggregationFunction = SUM,
+        knowledge: Any = None,
+        enforce_oblivious: bool = False,
+    ) -> None:
+        self.nodes = list(nodes)
+        self.sink = sink
+        self.algorithm = algorithm
+        self.aggregation = aggregation
+        self.knowledge = knowledge
+        self.enforce_oblivious = enforce_oblivious
+        available = () if knowledge is None else knowledge.provides()
+        algorithm.validate_knowledge(available)
+
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        source: Union[InteractionSequence, InteractionProvider],
+        max_interactions: Optional[int] = None,
+        initial_payloads: Optional[dict] = None,
+    ) -> ExecutionResult:
+        """Execute the algorithm until termination or ``max_interactions``.
+
+        Same contract as :meth:`repro.core.execution.Executor.run`.
+        """
+        if isinstance(source, InteractionSequence):
+            if max_interactions is None:
+                max_interactions = len(source)
+        elif max_interactions is None:
+            raise ConfigurationError(
+                "max_interactions is required when running against an "
+                "unbounded interaction provider"
+            )
+
+        run = _RunState(self.nodes, self.sink, initial_payloads)
+        self.algorithm.on_run_start(self.nodes, self.sink)
+
+        # Canonical presentation order of interacting pairs, mirroring
+        # Interaction's ordering: precomputed as a rank per dense index when
+        # the identifiers are totally ordered, with a per-pair fallback.
+        try:
+            rank_of = {node: r for r, node in enumerate(sorted(self.nodes))}
+            rank: Optional[List[int]] = [rank_of[node] for node in self.nodes]
+        except TypeError:
+            rank = None
+
+        ctx = _LoopContext(self, run, rank, max_interactions)
+        if isinstance(source, InteractionSequence):
+            ctx.consume_sequence(source)
+        elif hasattr(source, "committed_index_block"):
+            ctx.consume_batched_adversary(source)
+        else:
+            ctx.consume_provider(source)
+
+        sink_index = run.sink_index
+        return ExecutionResult(
+            terminated=ctx.terminated,
+            duration=ctx.duration,
+            interactions_used=ctx.time,
+            transmissions=ctx.transmissions,
+            sink_coverage=run.coverage[sink_index],
+            node_count=len(self.nodes),
+            remaining_owners=tuple(
+                sorted(
+                    (
+                        node
+                        for position, node in enumerate(run.nodes)
+                        if run.owns[position] and position != sink_index
+                    ),
+                    key=repr,
+                )
+            ),
+            sink_payload=run.payload[sink_index],
+        )
+
+
+class _LoopContext:
+    """The hot loop, shared by the three interaction-source shapes."""
+
+    def __init__(
+        self,
+        executor: FastExecutor,
+        run: _RunState,
+        rank: Optional[List[int]],
+        max_interactions: int,
+    ) -> None:
+        self.executor = executor
+        self.run = run
+        self.rank = rank
+        self.max_interactions = max_interactions
+        self.transmissions: List[Transmission] = []
+        self.terminated = run.remaining == 0
+        self.duration: Optional[int] = 0 if self.terminated else None
+        self.time = 0
+        # The two views are allocated once and re-pointed per interaction.
+        self._first = NodeView(
+            id=None, is_sink=False, owns_data=True, memory={},
+            knowledge=executor.knowledge,
+        )
+        self._second = NodeView(
+            id=None, is_sink=False, owns_data=True, memory={},
+            knowledge=executor.knowledge,
+        )
+
+    # ------------------------------------------------------------------ #
+    def _step(self, iu: int, iv: int, time: int) -> bool:
+        """Decide and apply one interaction whose endpoints both own data.
+
+        Returns True when the aggregation completed at ``time``.
+        """
+        run = self.run
+        executor = self.executor
+        nodes = run.nodes
+        u = nodes[iu]
+        v = nodes[iv]
+        rank = self.rank
+        if rank is not None:
+            if rank[iu] > rank[iv]:
+                iu, iv = iv, iu
+                u, v = v, u
+        else:
+            a, _ = _canonical_pair(u, v)
+            if a is not u:
+                iu, iv = iv, iu
+                u, v = v, u
+        first = self._first
+        second = self._second
+        sink_index = run.sink_index
+        first.id = u
+        first.is_sink = iu == sink_index
+        first.memory = run.memory[iu]
+        second.id = v
+        second.is_sink = iv == sink_index
+        second.memory = run.memory[iv]
+        algorithm = executor.algorithm
+        enforce = executor.enforce_oblivious and algorithm.oblivious
+        if enforce:
+            before = (dict(first.memory), dict(second.memory))
+        decision = algorithm.decide(first, second, time)
+        if enforce:
+            if before[0] != first.memory or before[1] != second.memory:
+                raise ModelViolationError(
+                    f"oblivious algorithm {algorithm.name!r} modified node memory"
+                )
+        if decision is None:
+            return False
+        if decision == u:
+            receiver_index, sender_index = iu, iv
+            receiver, sender = u, v
+        elif decision == v:
+            receiver_index, sender_index = iv, iu
+            receiver, sender = v, u
+        else:
+            raise ModelViolationError(
+                f"algorithm {algorithm.name!r} returned {decision!r} which is "
+                f"not part of the interaction {{{u!r}, {v!r}}} at t={time}"
+            )
+        if sender_index == sink_index:
+            raise ModelViolationError(
+                f"algorithm {algorithm.name!r} ordered the sink to transmit "
+                f"at t={time}"
+            )
+        run.payload[receiver_index] = executor.aggregation.fold(
+            run.payload[receiver_index], run.payload[sender_index]
+        )
+        run.coverage[receiver_index] += run.coverage[sender_index]
+        run.owns[sender_index] = False
+        run.transmitted_at[sender_index] = time
+        run.remaining -= 1
+        self.transmissions.append(
+            Transmission(time=time, sender=sender, receiver=receiver)
+        )
+        return run.remaining == 0
+
+    # ------------------------------------------------------------------ #
+    def consume_sequence(self, sequence: InteractionSequence) -> None:
+        """Fast path over a committed finite sequence."""
+        if self.terminated:
+            return
+        run = self.run
+        index_of = run.index_of
+        owns = run.owns
+        limit = min(len(sequence), self.max_interactions)
+        for time in range(limit):
+            interaction = sequence[time]
+            iu = index_of[interaction.u]
+            iv = index_of[interaction.v]
+            if owns[iu] and owns[iv] and self._step(iu, iv, time):
+                self.terminated = True
+                self.duration = time + 1
+                self.time = time + 1
+                return
+        self.time = limit
+
+    def consume_batched_adversary(self, adversary: Any) -> None:
+        """Batched path over a committed randomized adversary."""
+        if self.terminated:
+            return
+        run = self.run
+        owns = run.owns
+        adversary_nodes = adversary.nodes()
+        if adversary_nodes == run.nodes:
+            translate = None
+        else:
+            index_of = run.index_of
+            translate = [index_of[node] for node in adversary_nodes]
+        time = 0
+        while time < self.max_interactions:
+            stop = min(self.max_interactions, time + _BLOCK)
+            requested = stop - time
+            block_i, block_j = adversary.committed_index_block(time, stop)
+            li = block_i.tolist()
+            lj = block_j.tolist()
+            if translate is not None:
+                li = [translate[i] for i in li]
+                lj = [translate[j] for j in lj]
+            for offset, iu in enumerate(li):
+                iv = lj[offset]
+                if owns[iu] and owns[iv] and self._step(iu, iv, time + offset):
+                    self.terminated = True
+                    self.duration = time + offset + 1
+                    self.time = time + offset + 1
+                    return
+            count = len(li)
+            time += count
+            if count < requested:
+                break  # the adversary's safety horizon is exhausted
+        self.time = time
+
+    def consume_provider(self, provider: InteractionProvider) -> None:
+        """Generic path: per-interaction queries against a provider."""
+        if self.terminated:
+            return
+        run = self.run
+        index_of = run.index_of
+        owns = run.owns
+        facade = _StateFacade(run)
+        time = 0
+        while time < self.max_interactions:
+            interaction = provider.interaction_at(time, facade)
+            if interaction is None:
+                break
+            iu = index_of[interaction.u]
+            iv = index_of[interaction.v]
+            if owns[iu] and owns[iv] and self._step(iu, iv, time):
+                self.terminated = True
+                self.duration = time + 1
+                self.time = time + 1
+                return
+            time += 1
+        self.time = time

@@ -16,6 +16,7 @@ adversaries that generate interactions on demand; see
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass
 from typing import (
     Dict,
@@ -129,6 +130,7 @@ class InteractionSequence:
                     )
         self._items: Tuple[Interaction, ...] = tuple(items)
         self._meetings_cache: Dict[NodeId, Tuple[int, ...]] = {}
+        self._pair_times: Optional[Dict[FrozenSet[NodeId], List[int]]] = None
 
     # ------------------------------------------------------------------ #
     # Construction helpers
@@ -200,6 +202,22 @@ class InteractionSequence:
             self._meetings_cache[node] = cached
         return cached
 
+    def _pair_index(self) -> Dict[FrozenSet[NodeId], List[int]]:
+        """Per-pair sorted meeting times, built once on first use.
+
+        Mirrors ``RandomizedAdversary._meeting_index`` so that repeated
+        ``meetTime`` queries cost O(log T) each instead of re-scanning the
+        tail of the sequence (O(T) per query, O(T²) per committed-sequence
+        run).
+        """
+        index = self._pair_times
+        if index is None:
+            index = {}
+            for interaction in self._items:
+                index.setdefault(interaction.pair, []).append(interaction.time)
+            self._pair_times = index
+        return index
+
     def next_meeting(
         self, node: NodeId, peer: NodeId, after: int
     ) -> Optional[int]:
@@ -208,15 +226,17 @@ class InteractionSequence:
         Returns None if the pair never interacts after ``after`` within this
         finite sequence.
         """
-        for interaction in self._items[after + 1 :]:
-            if interaction.pair == frozenset((node, peer)):
-                return interaction.time
+        times = self._pair_index().get(frozenset((node, peer)))
+        if not times:
+            return None
+        position = bisect_right(times, after)
+        if position < len(times):
+            return times[position]
         return None
 
     def count_pair(self, u: NodeId, v: NodeId) -> int:
         """Number of occurrences of the interaction ``{u, v}``."""
-        target = frozenset((u, v))
-        return sum(1 for interaction in self._items if interaction.pair == target)
+        return len(self._pair_index().get(frozenset((u, v)), ()))
 
     # ------------------------------------------------------------------ #
     # Transformations

@@ -5,6 +5,12 @@ randomized adversary, and compares the measured number of interactions with
 the paper's claimed growth rate — by direct ratio against exact expectation
 formulas where the paper derives them, and by log-log growth-rate fitting
 for the asymptotic (Θ/O/Ω, w.h.p.) claims.
+
+The trial-based experiments (E7–E11, E13, E14) accept ``engine``
+("reference" or "fast", see :mod:`repro.core.fast_execution`); the
+sweep-based ones (E9–E11) additionally accept ``workers`` (process fan-out,
+see :mod:`repro.sim.parallel`).  Both knobs change only wall-clock time,
+never the measured numbers.
 """
 
 from __future__ import annotations
@@ -35,8 +41,9 @@ from ..core.interaction import InteractionSequence
 from ..graph.generators import uniform_random_sequence
 from ..offline.broadcast import broadcast_completion_time
 from ..offline.convergecast import INFINITY, opt as offline_opt
+from ..sim.parallel import sweep_random_adversary
 from ..sim.results import ExperimentReport, ResultTable
-from ..sim.runner import run_random_trial, sweep_random_adversary
+from ..sim.runner import resolve_engine, run_random_trial
 from ..sim.seeding import derive_seed
 
 DEFAULT_NS: Sequence[int] = (16, 24, 36, 54, 80)
@@ -47,6 +54,7 @@ def run_theorem7(
     ns: Sequence[int] = DEFAULT_NS,
     trials: int = DEFAULT_TRIALS,
     master_seed: int = 0,
+    engine: str = "reference",
 ) -> ExperimentReport:
     """E7 — Theorem 7: every no-knowledge algorithm needs Ω(n²) interactions.
 
@@ -73,9 +81,9 @@ def run_theorem7(
         durations: List[float] = []
         for trial in range(trials):
             seed = derive_seed(master_seed, "theorem7", n, trial)
-            metrics = run_random_trial(Gathering(), n, seed)
+            metrics = run_random_trial(Gathering(), n, seed, engine=engine)
             durations.append(metrics.duration)
-        last_waits = _last_transmission_waits(n, trials, master_seed)
+        last_waits = _last_transmission_waits(n, trials, master_seed, engine=engine)
         bound = last_transmission_expected(n)
         mean_duration = sum(durations) / len(durations)
         mean_last = sum(last_waits) / len(last_waits)
@@ -102,16 +110,17 @@ def run_theorem7(
 
 
 def _last_transmission_waits(
-    n: int, trials: int, master_seed: int
+    n: int, trials: int, master_seed: int, engine: str = "reference"
 ) -> List[float]:
     """Waiting time before the final transmission of Gathering runs."""
     waits: List[float] = []
+    executor_cls = resolve_engine(engine)
     for trial in range(trials):
         seed = derive_seed(master_seed, "theorem7-last", n, trial)
         from ..adversaries.randomized import RandomizedAdversary
 
         adversary = RandomizedAdversary(list(range(n)), seed=seed)
-        executor = Executor(list(range(n)), 0, Gathering())
+        executor = executor_cls(list(range(n)), 0, Gathering())
         result = executor.run(adversary, max_interactions=64 * n * n)
         if not result.terminated or len(result.transmissions) < 2:
             continue
@@ -125,6 +134,7 @@ def run_theorem8(
     ns: Sequence[int] = DEFAULT_NS,
     trials: int = DEFAULT_TRIALS,
     master_seed: int = 0,
+    engine: str = "reference",
 ) -> ExperimentReport:
     """E8 — Theorem 8: with full knowledge the optimum is Θ(n log n).
 
@@ -172,7 +182,9 @@ def run_theorem8(
                 if not math.isinf(reversed_completion)
                 else math.inf
             )
-            metrics = run_random_trial(FullKnowledge(), n, seed, horizon=horizon)
+            metrics = run_random_trial(
+                FullKnowledge(), n, seed, horizon=horizon, engine=engine
+            )
             runs.append(metrics.duration)
         mean_opt = sum(opts) / len(opts)
         mean_opts.append(mean_opt)
@@ -205,6 +217,8 @@ def run_corollary1(
     ns: Sequence[int] = DEFAULT_NS,
     trials: int = DEFAULT_TRIALS,
     master_seed: int = 0,
+    engine: str = "reference",
+    workers: int = 1,
 ) -> ExperimentReport:
     """E9 — Corollary 1: DODA(future) also terminates in Θ(n log n)."""
     sweep = sweep_random_adversary(
@@ -213,6 +227,8 @@ def run_corollary1(
         trials,
         master_seed=master_seed,
         experiment="corollary1",
+        engine=engine,
+        workers=workers,
     )
     means = sweep.mean_durations
     table = sweep.to_table("Corollary 1: future-broadcast termination (randomized adversary)")
@@ -240,6 +256,8 @@ def run_theorem9_waiting(
     ns: Sequence[int] = DEFAULT_NS,
     trials: int = DEFAULT_TRIALS,
     master_seed: int = 0,
+    engine: str = "reference",
+    workers: int = 1,
 ) -> ExperimentReport:
     """E10 — Theorem 9 (Waiting): O(n² log n) expected, matching the exact formula."""
     sweep = sweep_random_adversary(
@@ -248,6 +266,8 @@ def run_theorem9_waiting(
         trials,
         master_seed=master_seed,
         experiment="theorem9_waiting",
+        engine=engine,
+        workers=workers,
     )
     table = sweep.to_table("Theorem 9: Waiting termination (randomized adversary)")
     table.columns.extend(["expected_exact", "mean_over_expected"])
@@ -285,6 +305,8 @@ def run_theorem9_gathering(
     ns: Sequence[int] = DEFAULT_NS,
     trials: int = DEFAULT_TRIALS,
     master_seed: int = 0,
+    engine: str = "reference",
+    workers: int = 1,
 ) -> ExperimentReport:
     """E11 — Theorem 9 / Corollary 2: Gathering is O(n²), optimal without knowledge."""
     sweep = sweep_random_adversary(
@@ -293,6 +315,8 @@ def run_theorem9_gathering(
         trials,
         master_seed=master_seed,
         experiment="theorem9_gathering",
+        engine=engine,
+        workers=workers,
     )
     table = sweep.to_table("Theorem 9: Gathering termination (randomized adversary)")
     table.columns.extend(["expected_exact", "mean_over_expected"])
@@ -381,6 +405,7 @@ def run_theorem10(
     trials: int = DEFAULT_TRIALS,
     tau_constant: float = 2.0,
     master_seed: int = 0,
+    engine: str = "reference",
 ) -> ExperimentReport:
     """E13 — Theorem 10 / Corollary 3: Waiting Greedy terminates by tau w.h.p.
 
@@ -409,7 +434,11 @@ def run_theorem10(
         for trial in range(trials):
             seed = derive_seed(master_seed, "theorem10", n, trial)
             metrics = run_random_trial(
-                WaitingGreedy(tau=tau), n, seed, horizon=max(8 * tau, 4 * n * n)
+                WaitingGreedy(tau=tau),
+                n,
+                seed,
+                horizon=max(8 * tau, 4 * n * n),
+                engine=engine,
             )
             durations.append(metrics.duration)
         fraction = fraction_within(durations, tau)
@@ -465,6 +494,7 @@ def run_theorem11(
     trials: int = DEFAULT_TRIALS,
     tau_constant: float = 2.0,
     master_seed: int = 0,
+    engine: str = "reference",
 ) -> ExperimentReport:
     """E14 — Theorem 11: Waiting Greedy is optimal in DODA(meetTime).
 
@@ -494,9 +524,11 @@ def run_theorem11(
         tau = optimal_tau(n, constant=tau_constant)
         for trial in range(trials):
             seed = derive_seed(master_seed, "theorem11", n, trial)
-            wg.append(run_random_trial(WaitingGreedy(tau=tau), n, seed).duration)
-            ga.append(run_random_trial(Gathering(), n, seed).duration)
-            wa.append(run_random_trial(Waiting(), n, seed).duration)
+            wg.append(
+                run_random_trial(WaitingGreedy(tau=tau), n, seed, engine=engine).duration
+            )
+            ga.append(run_random_trial(Gathering(), n, seed, engine=engine).duration)
+            wa.append(run_random_trial(Waiting(), n, seed, engine=engine).duration)
         mean_wg = sum(wg) / len(wg)
         mean_ga = sum(ga) / len(ga)
         mean_wa = sum(wa) / len(wa)

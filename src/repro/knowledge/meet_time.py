@@ -35,9 +35,10 @@ class MeetTimeKnowledge:
         sink: the sink node identifier.
         horizon: optional cap; queries whose answer would exceed the horizon
             raise :class:`HorizonExhaustedError` if ``strict`` is True, and
-            otherwise return ``horizon`` itself (a sentinel "far in the
-            future" value, convenient for Waiting Greedy whose behaviour only
-            depends on comparisons against ``tau <= horizon``).
+            otherwise return ``horizon + 1`` (a sentinel strictly beyond any
+            legal time, so Waiting Greedy's ``tau < meetTime`` test treats
+            "never meets within the horizon" as "later than every tau", even
+            when a caller sets ``tau == horizon``).
         strict: see ``horizon``.
     """
 
@@ -65,13 +66,14 @@ class MeetTimeKnowledge:
                 raise HorizonExhaustedError(
                     f"meetTime({node!r}, {t}) exceeds the committed horizon"
                 )
-            # "Never (within the horizon)" is reported as the horizon itself,
-            # which is strictly larger than any tau used by Waiting Greedy.
-            fallback = self._horizon
-            if fallback is None:
+            # "Never (within the horizon)" must compare strictly larger than
+            # any legal tau, including tau == horizon; returning the horizon
+            # itself would make Waiting Greedy's `tau < meetTime` test false
+            # and silently strand never-meeting nodes.
+            if self._horizon is None:
                 raise HorizonExhaustedError(
                     f"meetTime({node!r}, {t}) is undefined: the committed "
                     "future is finite and no horizon fallback was configured"
                 )
-            return fallback
+            return self._horizon + 1
         return answer

@@ -1,18 +1,28 @@
 """Experiment harness: seeding, trial runners, sweeps and result tables."""
 
 from .metrics import TrialMetrics, durations, mean_duration, termination_rate
+
+# The canonical sweep entry point is the parallel-capable one; it delegates
+# to the serial implementation in .runner for workers <= 1, so there is a
+# single public API surface.
+from .parallel import sweep_random_adversary
 from .results import ExperimentReport, ResultTable
 from .runner import (
+    ENGINES,
     SweepPoint,
     SweepResult,
     build_knowledge_for_random_run,
     default_horizon,
+    execute_random_trial,
+    resolve_engine,
     run_random_trial,
-    sweep_random_adversary,
+    run_sweep_trial,
+    validate_sweep_parameters,
 )
 from .seeding import derive_seed, trial_seeds
 
 __all__ = [
+    "ENGINES",
     "ExperimentReport",
     "ResultTable",
     "SweepPoint",
@@ -22,9 +32,13 @@ __all__ = [
     "default_horizon",
     "derive_seed",
     "durations",
+    "execute_random_trial",
     "mean_duration",
+    "resolve_engine",
     "run_random_trial",
+    "run_sweep_trial",
     "sweep_random_adversary",
     "termination_rate",
     "trial_seeds",
+    "validate_sweep_parameters",
 ]

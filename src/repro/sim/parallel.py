@@ -1,0 +1,138 @@
+"""Multi-process sweep runner for the randomized-adversary experiments.
+
+The sweep fan-out is embarrassingly parallel: every trial derives its own
+seed from ``(master_seed, experiment, algorithm, n, trial)`` via
+:func:`~repro.sim.seeding.derive_seed` and shares no RNG state with any
+other trial.  This module farms the ``ns x trials`` grid over a
+``multiprocessing`` pool while preserving that derivation, so a parallel
+sweep reproduces the serial :func:`repro.sim.runner.sweep_random_adversary`
+bit for bit — same :class:`~repro.sim.metrics.TrialMetrics`, same
+:class:`~repro.sim.results.ResultTable` — for any ``workers`` count.
+
+Workers are started with the ``fork`` start method (the configuration,
+including lambda algorithm factories, is inherited by the child processes
+rather than pickled); on platforms without ``fork`` the sweep transparently
+falls back to the serial runner.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..core.algorithm import DODAAlgorithm
+from ..core.data import NodeId
+from .metrics import TrialMetrics
+from .runner import (
+    AlgorithmFactory,
+    SweepPoint,
+    SweepResult,
+    resolve_engine,
+    run_sweep_trial,
+    sweep_random_adversary as _serial_sweep,
+    validate_sweep_parameters,
+)
+
+#: Per-worker sweep configuration, inherited through ``fork`` (never
+#: pickled, so lambda factories and closures work).
+_WORKER_CONFIG: dict = {}
+
+
+def _init_worker(config: dict) -> None:
+    """Install the sweep configuration in a freshly forked worker."""
+    _WORKER_CONFIG.clear()
+    _WORKER_CONFIG.update(config)
+
+
+def _run_task(task: Tuple[int, int]) -> TrialMetrics:
+    """Run one ``(n, trial)`` grid cell inside a worker process."""
+    n, trial = task
+    config = _WORKER_CONFIG
+    return run_sweep_trial(
+        config["factory"],
+        n,
+        trial,
+        master_seed=config["master_seed"],
+        experiment=config["experiment"],
+        horizon_fn=config["horizon_fn"],
+        sink=config["sink"],
+        engine=config["engine"],
+    )
+
+
+def _fork_context() -> Optional[multiprocessing.context.BaseContext]:
+    """The ``fork`` multiprocessing context, or None when unavailable."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return None
+
+
+def sweep_random_adversary(
+    algorithm_factory: AlgorithmFactory,
+    ns: Sequence[int],
+    trials: int,
+    master_seed: int = 0,
+    experiment: str = "sweep",
+    horizon_fn: Optional[Callable[[DODAAlgorithm, int], int]] = None,
+    sink: NodeId = 0,
+    engine: str = "reference",
+    workers: int = 1,
+) -> SweepResult:
+    """Run a randomized-adversary sweep, optionally across worker processes.
+
+    Identical to :func:`repro.sim.runner.sweep_random_adversary` plus the
+    ``workers`` parameter.  ``workers <= 1`` (or a platform without the
+    ``fork`` start method) runs serially; any other value distributes the
+    ``ns x trials`` grid over a process pool.  Results are deterministic
+    and independent of ``workers``.
+
+    Raises:
+        ValueError: if ``ns`` is empty, ``trials < 1``, ``workers < 1`` or
+            ``engine`` is unknown.
+    """
+    validate_sweep_parameters(ns, trials)
+    resolve_engine(engine)
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    context = _fork_context()
+    if workers == 1 or context is None:
+        return _serial_sweep(
+            algorithm_factory,
+            ns,
+            trials,
+            master_seed=master_seed,
+            experiment=experiment,
+            horizon_fn=horizon_fn,
+            sink=sink,
+            engine=engine,
+        )
+
+    sample_algorithm = algorithm_factory(int(ns[0]))
+    tasks = [(int(n), trial) for n in ns for trial in range(trials)]
+    config = {
+        "factory": algorithm_factory,
+        "master_seed": master_seed,
+        "experiment": experiment,
+        "horizon_fn": horizon_fn,
+        "sink": sink,
+        "engine": engine,
+    }
+    processes = min(workers, len(tasks))
+    chunksize = max(1, len(tasks) // (processes * 4))
+    with context.Pool(
+        processes=processes, initializer=_init_worker, initargs=(config,)
+    ) as pool:
+        metrics: List[TrialMetrics] = pool.map(_run_task, tasks, chunksize)
+
+    result = SweepResult(algorithm=sample_algorithm.name)
+    for position, n in enumerate(ns):
+        start = position * trials
+        result.points.append(
+            SweepPoint(
+                n=int(n),
+                algorithm=result.algorithm,
+                trials=metrics[start : start + trials],
+            )
+        )
+    return result

@@ -21,6 +21,7 @@ from ..core.algorithm import (
 )
 from ..core.data import NodeId
 from ..core.execution import ExecutionResult, Executor
+from ..core.fast_execution import FastExecutor
 from ..core.interaction import InteractionSequence
 from ..knowledge import (
     FullKnowledge,
@@ -35,6 +36,26 @@ from .results import ResultTable
 from .seeding import derive_seed
 
 AlgorithmFactory = Callable[[int], DODAAlgorithm]
+
+#: The two interchangeable execution engines.  ``reference`` is the
+#: semantics oracle (:class:`~repro.core.execution.Executor`); ``fast`` is
+#: the optimised engine (:class:`~repro.core.fast_execution.FastExecutor`)
+#: which produces identical results seed for seed.
+ENGINES = {"reference": Executor, "fast": FastExecutor}
+
+
+def resolve_engine(engine: str):
+    """Map an engine name to its executor class.
+
+    Raises:
+        ValueError: if ``engine`` is not a known engine name.
+    """
+    try:
+        return ENGINES[engine]
+    except KeyError:
+        raise ValueError(
+            f"unknown engine {engine!r}; available: {sorted(ENGINES)}"
+        ) from None
 
 
 def default_horizon(algorithm: DODAAlgorithm, n: int, safety: float = 8.0) -> int:
@@ -103,6 +124,39 @@ def build_knowledge_for_random_run(
     return KnowledgeBundle(*oracles), committed
 
 
+def execute_random_trial(
+    algorithm: DODAAlgorithm,
+    n: int,
+    seed: int,
+    horizon: Optional[int] = None,
+    sink: NodeId = 0,
+    engine: str = "reference",
+) -> Tuple[ExecutionResult, int]:
+    """Run one randomized-adversary trial and return the raw execution result.
+
+    This is the differential-testing entry point: for a given ``(algorithm,
+    n, seed, horizon)`` the ``reference`` and ``fast`` engines must return
+    equal :class:`~repro.core.execution.ExecutionResult` objects, including
+    the transmission log.  Returns ``(result, horizon)``.
+    """
+    executor_cls = resolve_engine(engine)
+    nodes = list(range(n))
+    if sink not in nodes:
+        raise ValueError("sink must be one of the nodes 0..n-1")
+    if horizon is None:
+        horizon = default_horizon(algorithm, n)
+    adversary = RandomizedAdversary(nodes, seed=seed, max_horizon=max(horizon * 2, horizon + 1024))
+    knowledge, committed = build_knowledge_for_random_run(
+        algorithm, adversary, nodes, sink, horizon
+    )
+    executor = executor_cls(nodes, sink, algorithm, knowledge=knowledge)
+    if committed is not None:
+        result = executor.run(committed, max_interactions=horizon)
+    else:
+        result = executor.run(adversary, max_interactions=horizon)
+    return result, horizon
+
+
 def run_random_trial(
     algorithm: DODAAlgorithm,
     n: int,
@@ -110,6 +164,7 @@ def run_random_trial(
     horizon: Optional[int] = None,
     sink: NodeId = 0,
     extra: Optional[Dict[str, Any]] = None,
+    engine: str = "reference",
 ) -> TrialMetrics:
     """Run one trial of ``algorithm`` against the randomized adversary.
 
@@ -121,21 +176,12 @@ def run_random_trial(
         horizon: interaction budget; defaults to :func:`default_horizon`.
         sink: sink node identifier.
         extra: extra key/values recorded in the metrics.
+        engine: ``"reference"`` or ``"fast"``; both produce identical
+            metrics, the fast engine just gets there sooner.
     """
-    nodes = list(range(n))
-    if sink not in nodes:
-        raise ValueError("sink must be one of the nodes 0..n-1")
-    if horizon is None:
-        horizon = default_horizon(algorithm, n)
-    adversary = RandomizedAdversary(nodes, seed=seed, max_horizon=max(horizon * 2, horizon + 1024))
-    knowledge, committed = build_knowledge_for_random_run(
-        algorithm, adversary, nodes, sink, horizon
+    result, horizon = execute_random_trial(
+        algorithm, n, seed, horizon=horizon, sink=sink, engine=engine
     )
-    executor = Executor(nodes, sink, algorithm, knowledge=knowledge)
-    if committed is not None:
-        result = executor.run(committed, max_interactions=horizon)
-    else:
-        result = executor.run(adversary, max_interactions=horizon)
     return TrialMetrics.from_result(
         result, n=n, seed=seed, algorithm=algorithm.name, horizon=horizon, extra=extra
     )
@@ -208,6 +254,7 @@ def sweep_random_adversary(
     experiment: str = "sweep",
     horizon_fn: Optional[Callable[[DODAAlgorithm, int], int]] = None,
     sink: NodeId = 0,
+    engine: str = "reference",
 ) -> SweepResult:
     """Run ``trials`` independent trials per ``n`` against the randomized adversary.
 
@@ -220,21 +267,79 @@ def sweep_random_adversary(
         experiment: experiment name mixed into seed derivation.
         horizon_fn: optional override of :func:`default_horizon`.
         sink: sink node identifier.
+        engine: execution engine, ``"reference"`` or ``"fast"``.
+
+    Raises:
+        ValueError: if ``ns`` is empty, ``trials < 1`` or ``engine`` is
+            unknown.
+
+    For multi-process sweeps see
+    :func:`repro.sim.parallel.sweep_random_adversary`, which reproduces this
+    function's output bit for bit.
     """
+    validate_sweep_parameters(ns, trials)
+    resolve_engine(engine)
     sample_algorithm = algorithm_factory(int(ns[0]))
     result = SweepResult(algorithm=sample_algorithm.name)
     for n in ns:
         metrics: List[TrialMetrics] = []
         for trial in range(trials):
-            algorithm = algorithm_factory(int(n))
-            seed = derive_seed(master_seed, experiment, algorithm.name, n, trial)
-            horizon = (
-                horizon_fn(algorithm, int(n)) if horizon_fn else default_horizon(algorithm, int(n))
-            )
             metrics.append(
-                run_random_trial(algorithm, int(n), seed, horizon=horizon, sink=sink)
+                run_sweep_trial(
+                    algorithm_factory,
+                    int(n),
+                    trial,
+                    master_seed=master_seed,
+                    experiment=experiment,
+                    horizon_fn=horizon_fn,
+                    sink=sink,
+                    engine=engine,
+                )
             )
         result.points.append(
             SweepPoint(n=int(n), algorithm=result.algorithm, trials=metrics)
         )
     return result
+
+
+def run_sweep_trial(
+    algorithm_factory: AlgorithmFactory,
+    n: int,
+    trial: int,
+    master_seed: int = 0,
+    experiment: str = "sweep",
+    horizon_fn: Optional[Callable[[DODAAlgorithm, int], int]] = None,
+    sink: NodeId = 0,
+    engine: str = "reference",
+) -> TrialMetrics:
+    """Run the single sweep trial ``(n, trial)`` with derived-seed determinism.
+
+    Both the serial and the parallel sweep runners call this for every task,
+    which is what makes ``workers > 1`` reproduce the serial sweep exactly.
+    """
+    algorithm = algorithm_factory(n)
+    seed = derive_seed(master_seed, experiment, algorithm.name, n, trial)
+    horizon = (
+        horizon_fn(algorithm, n) if horizon_fn else default_horizon(algorithm, n)
+    )
+    return run_random_trial(
+        algorithm, n, seed, horizon=horizon, sink=sink, engine=engine
+    )
+
+
+def validate_sweep_parameters(ns: Sequence[int], trials: int) -> None:
+    """Reject empty or nonsensical sweep configurations with a clear error.
+
+    Raises:
+        ValueError: if ``ns`` is empty, contains ``n < 2``, or ``trials < 1``
+            (previously an empty ``ns`` surfaced as a bare ``IndexError``
+            deep in the runner, and ``n < 2`` as an adversary construction
+            error mid-sweep).
+    """
+    if len(ns) == 0:
+        raise ValueError("ns must contain at least one value of n to sweep")
+    for n in ns:
+        if int(n) < 2:
+            raise ValueError(f"every n must be >= 2 (a DODA instance needs a sink and at least one source), got {n}")
+    if trials < 1:
+        raise ValueError(f"trials must be >= 1, got {trials}")

@@ -141,3 +141,26 @@ class TestEndToEnd:
                 run_random_trial(Gathering(), n, seed=seed).duration
             )
         assert sum(greedy_durations) < sum(gathering_durations)
+
+
+class TestTauEqualsHorizonRegression:
+    def test_never_meeting_node_still_transmits_at_tau_equal_horizon(self):
+        # Node 2 never meets the sink within the horizon.  With the old
+        # "never meets" sentinel equal to the horizon itself, setting
+        # tau == horizon made `tau < meetTime` false, so node 2 silently
+        # refused to transmit and the run could not terminate.
+        nodes = [0, 1, 2]
+        pairs = [(1, 2)] * 5 + [(1, 0)]
+        sequence = InteractionSequence.from_pairs(pairs)
+        horizon = len(sequence)
+        knowledge = KnowledgeBundle(
+            MeetTimeKnowledge(sequence, sink=0, horizon=horizon)
+        )
+        executor = Executor(
+            nodes, 0, WaitingGreedy(tau=horizon), knowledge=knowledge
+        )
+        result = executor.run(sequence)
+        assert result.terminated
+        assert result.duration == horizon
+        senders = [t.sender for t in result.transmissions]
+        assert senders == [2, 1]

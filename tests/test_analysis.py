@@ -166,3 +166,23 @@ class TestStatistics:
     def test_geometric_sweep_validation(self):
         with pytest.raises(ValueError):
             geometric_sweep(10, 5, 3)
+
+
+class TestGeometricSweepRegressions:
+    def test_degenerate_start_equals_stop(self):
+        # Rounding collapse must never produce a duplicate/non-increasing
+        # tail: the degenerate range yields a single point.
+        assert geometric_sweep(7, 7, 5) == [7]
+
+    def test_tail_is_strictly_increasing(self):
+        for start, stop, points in [(1, 2, 8), (10, 11, 10), (2, 100, 40), (3, 7, 3)]:
+            sweep = geometric_sweep(start, stop, points)
+            assert sweep[0] == start
+            assert sweep[-1] == stop
+            assert all(a < b for a, b in zip(sweep, sweep[1:]))
+
+    def test_validation_messages(self):
+        with pytest.raises(ValueError):
+            geometric_sweep(0, 5, 3)
+        with pytest.raises(ValueError):
+            geometric_sweep(5, 10, 0)

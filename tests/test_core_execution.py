@@ -194,3 +194,30 @@ class TestProviders:
         provider.interaction_at(0, state)
         with pytest.raises(ModelViolationError):
             provider.interaction_at(2, state)
+
+    def test_recording_provider_allows_consistent_requery(self):
+        provider = RecordingProvider(
+            SequenceProvider(InteractionSequence.from_pairs([(0, 1), (1, 2)]))
+        )
+        state = NetworkState([0, 1, 2], sink=0)
+        first = provider.interaction_at(0, state)
+        again = provider.interaction_at(0, state)
+        assert first == again
+        assert len(provider.recorded) == 1
+
+    def test_recording_provider_rejects_mismatching_overwrite(self):
+        # An adaptive provider that answers differently on replay must not
+        # silently rewrite the recorded history.
+        class Flaky:
+            def __init__(self):
+                self.calls = 0
+
+            def interaction_at(self, time, state):
+                self.calls += 1
+                return Interaction(time=time, u=self.calls, v=self.calls + 1)
+
+        provider = RecordingProvider(Flaky())
+        state = NetworkState([0, 1, 2, 3], sink=0)
+        provider.interaction_at(0, state)
+        with pytest.raises(ModelViolationError):
+            provider.interaction_at(0, state)

@@ -145,3 +145,27 @@ class TestInteractionSequence:
     def test_pairs_property(self):
         sequence = InteractionSequence.from_pairs([(1, 0), (2, 1)])
         assert sequence.pairs == [(0, 1), (1, 2)]
+
+
+class TestNextMeetingIndex:
+    def test_repeated_queries_consistent_with_scan(self):
+        sequence = InteractionSequence.from_pairs(
+            [(0, 1), (1, 2), (0, 1), (0, 2), (0, 1), (1, 2)]
+        )
+        for after in range(-1, len(sequence) + 1):
+            for pair in [(0, 1), (1, 2), (0, 2), (1, 0), (3, 4)]:
+                expected = next(
+                    (
+                        i.time
+                        for i in sequence
+                        if i.time > after and i.pair == frozenset(pair)
+                    ),
+                    None,
+                )
+                assert sequence.next_meeting(pair[0], pair[1], after) == expected
+
+    def test_count_pair_uses_index(self):
+        sequence = InteractionSequence.from_pairs([(0, 1), (1, 0), (1, 2)])
+        assert sequence.count_pair(0, 1) == 2
+        assert sequence.count_pair(1, 2) == 1
+        assert sequence.count_pair(0, 2) == 0

@@ -32,9 +32,11 @@ class TestMeetTime:
         oracle = MeetTimeKnowledge(committed_sequence, sink=0, horizon=100)
         assert oracle.meet_time(0, 17) == 17
 
-    def test_no_future_meeting_returns_horizon(self, committed_sequence):
+    def test_no_future_meeting_returns_beyond_horizon(self, committed_sequence):
+        # "Never meets within the horizon" must compare strictly larger than
+        # any legal tau (including tau == horizon), hence horizon + 1.
         oracle = MeetTimeKnowledge(committed_sequence, sink=0, horizon=50)
-        assert oracle.meet_time(1, 1) == 50
+        assert oracle.meet_time(1, 1) == 51
 
     def test_strict_mode_raises(self, committed_sequence):
         oracle = MeetTimeKnowledge(committed_sequence, sink=0, horizon=50, strict=True)
