@@ -1,0 +1,112 @@
+"""Differential benchmark: batched mobility sweeps vs. the reference engine.
+
+Runs the same mobility-adversary sweep (``community`` and ``waypoint``
+families, n >= 100) through the reference per-trial path and the batched
+fast-engine path (one ``FastExecutor.run_many`` invocation per sweep cell),
+asserts the results are identical trial for trial, and that the batched
+path is measurably faster.  Timings are appended to the
+``BENCH_engine.json`` trajectory next to the uniform-adversary engine
+benchmark so the speedup can be tracked across commits.
+"""
+
+import time
+
+from repro.algorithms.waiting import Waiting
+from repro.sim.batch import sweep_adversary_batched
+from repro.sim.runner import sweep_random_adversary
+
+from bench_utils import record_bench_trajectory
+
+BENCH_N = 100
+BENCH_TRIALS = 5
+FAMILIES = ("community", "waypoint")
+#: The sampling cost of the committed mobility future is shared by both
+#: engines, so the gate is lower than the uniform-adversary benchmark's.
+MIN_SPEEDUP = 1.5
+#: Best of N timing rounds, so one noisy measurement cannot fail the gate.
+TIMING_ROUNDS = 3
+
+
+def _timed(run) -> "tuple":
+    best = None
+    result = None
+    for _ in range(TIMING_ROUNDS):
+        started = time.perf_counter()
+        result = run()
+        elapsed = time.perf_counter() - started
+        best = elapsed if best is None else min(best, elapsed)
+    return result, best
+
+
+def test_batched_mobility_sweep_speedup_and_equality(benchmark):
+    """The batched fast path reproduces the reference mobility sweeps, faster."""
+    reference = {}
+    reference_seconds = 0.0
+    for family in FAMILIES:
+        result, seconds = _timed(
+            lambda family=family: sweep_random_adversary(
+                lambda n: Waiting(),
+                ns=[BENCH_N],
+                trials=BENCH_TRIALS,
+                master_seed=7,
+                experiment="bench_mobility",
+                engine="reference",
+                adversary=family,
+            )
+        )
+        reference[family] = result
+        reference_seconds += seconds
+
+    def run_batched():
+        return {
+            family: sweep_adversary_batched(
+                lambda n: Waiting(),
+                ns=[BENCH_N],
+                trials=BENCH_TRIALS,
+                master_seed=7,
+                experiment="bench_mobility",
+                engine="fast",
+                adversary=family,
+            )
+            for family in FAMILIES
+        }
+
+    batched, batched_seconds = benchmark.pedantic(
+        _timed, args=(run_batched,), rounds=1, iterations=1, warmup_rounds=0
+    )
+    for family in FAMILIES:
+        for ref_point, fast_point in zip(
+            reference[family].points, batched[family].points
+        ):
+            assert fast_point.trials == ref_point.trials, family
+
+    speedup = reference_seconds / batched_seconds
+    benchmark.extra_info["n"] = BENCH_N
+    benchmark.extra_info["trials"] = BENCH_TRIALS
+    benchmark.extra_info["families"] = list(FAMILIES)
+    benchmark.extra_info["reference_seconds"] = reference_seconds
+    benchmark.extra_info["batched_fast_seconds"] = batched_seconds
+    benchmark.extra_info["speedup"] = speedup
+    record_bench_trajectory(
+        "engine",
+        {
+            "kind": "mobility_batched",
+            "n": BENCH_N,
+            "trials": BENCH_TRIALS,
+            "adversaries": list(FAMILIES),
+            "algorithm": "waiting",
+            "reference_seconds": round(reference_seconds, 6),
+            "batched_fast_seconds": round(batched_seconds, 6),
+            "speedup": round(speedup, 3),
+        },
+    )
+    print(
+        f"\nmobility sweep benchmark (n={BENCH_N}, trials={BENCH_TRIALS}, "
+        f"families={list(FAMILIES)}): reference {reference_seconds:.3f}s, "
+        f"batched fast {batched_seconds:.3f}s, speedup {speedup:.1f}x"
+    )
+    assert speedup >= MIN_SPEEDUP, (
+        f"batched mobility sweep speedup {speedup:.2f}x below the required "
+        f"{MIN_SPEEDUP:.1f}x (reference {reference_seconds:.3f}s, "
+        f"batched {batched_seconds:.3f}s)"
+    )

@@ -6,8 +6,8 @@ adversaries and bounds of Bramas, Masuzawa and Tixeuil (ICDCS 2016):
 * :mod:`repro.core` — the DODA problem: interactions, execution engine,
   cost measure;
 * :mod:`repro.graph` — dynamic graphs, generators, journeys, contact traces;
-* :mod:`repro.adversaries` — oblivious, adaptive and randomized adversaries,
-  including the impossibility constructions of Theorems 1–3;
+* :mod:`repro.adversaries` — oblivious, adaptive, randomized and mobility
+  adversaries, including the impossibility constructions of Theorems 1–3;
 * :mod:`repro.algorithms` — Waiting, Gathering, Waiting Greedy, spanning
   tree, future broadcast, full knowledge, baselines;
 * :mod:`repro.knowledge` — the knowledge oracles (meetTime, future, G-bar,
@@ -32,11 +32,17 @@ Quickstart::
 from .adversaries import (
     AdaptiveAdversary,
     Adversary,
+    CommittedBlockAdversary,
+    CommunityAdversary,
     EventuallyPeriodicAdversary,
+    NonUniformRandomizedAdversary,
+    RandomWaypointAdversary,
     RandomizedAdversary,
     Theorem1Adversary,
     Theorem2Construction,
     Theorem3Adversary,
+    TraceReplayAdversary,
+    make_adversary,
     theorem4_delaying_sequence,
 )
 from .algorithms import (
@@ -92,6 +98,7 @@ from .sim import (
     ExperimentReport,
     ResultTable,
     run_random_trial,
+    sweep_adversary_batched,
     sweep_random_adversary,
 )
 
@@ -103,6 +110,8 @@ __all__ = [
     "AggregationSchedule",
     "BodyAreaNetworkTrace",
     "CoinFlipGathering",
+    "CommittedBlockAdversary",
+    "CommunityAdversary",
     "DODAAlgorithm",
     "DataToken",
     "DynamicGraph",
@@ -122,7 +131,9 @@ __all__ = [
     "MeetTimeKnowledge",
     "NetworkState",
     "NodeView",
+    "NonUniformRandomizedAdversary",
     "RandomReceiver",
+    "RandomWaypointAdversary",
     "RandomWaypointTrace",
     "RandomizedAdversary",
     "ResultTable",
@@ -130,6 +141,7 @@ __all__ = [
     "Theorem1Adversary",
     "Theorem2Construction",
     "Theorem3Adversary",
+    "TraceReplayAdversary",
     "Transmission",
     "UnderlyingGraphKnowledge",
     "VehicularGridTrace",
@@ -140,11 +152,13 @@ __all__ = [
     "cost_of_result",
     "foremost_arrival_times",
     "is_optimal",
+    "make_adversary",
     "opt",
     "optimal_tau",
     "registry",
     "run_algorithm",
     "run_random_trial",
+    "sweep_adversary_batched",
     "sweep_random_adversary",
     "theorem4_delaying_sequence",
     "uniform_random_sequence",

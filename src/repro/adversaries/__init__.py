@@ -1,22 +1,37 @@
-"""Adversary models: oblivious, online adaptive, and randomized."""
+"""Adversary models: oblivious, online adaptive, randomized, and mobility."""
 
 from .base import Adversary, AdaptiveAdversary, EventuallyPeriodicAdversary
+from .committed import COMMIT_CHUNK, CommittedBlockAdversary
 from .constructions import (
     Theorem1Adversary,
     Theorem2Construction,
     Theorem3Adversary,
     theorem4_delaying_sequence,
 )
+from .factory import ADVERSARY_FAMILIES, make_adversary, resolve_adversary_family
+from .mobility import (
+    CommunityAdversary,
+    RandomWaypointAdversary,
+    TraceReplayAdversary,
+)
 from .nonuniform import NonUniformRandomizedAdversary, hub_weights, zipf_weights
 from .randomized import RandomizedAdversary
 
 __all__ = [
+    "ADVERSARY_FAMILIES",
     "AdaptiveAdversary",
     "Adversary",
+    "COMMIT_CHUNK",
+    "CommittedBlockAdversary",
+    "CommunityAdversary",
     "EventuallyPeriodicAdversary",
     "NonUniformRandomizedAdversary",
+    "RandomWaypointAdversary",
     "RandomizedAdversary",
+    "TraceReplayAdversary",
     "hub_weights",
+    "make_adversary",
+    "resolve_adversary_family",
     "zipf_weights",
     "Theorem1Adversary",
     "Theorem2Construction",

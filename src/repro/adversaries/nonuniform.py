@@ -10,9 +10,11 @@ two endpoints' weights, which covers the natural skews:
 * *Zipf-distributed* activity (a few very social nodes, a long tail);
 * the uniform adversary as the special case of equal weights.
 
-The committed-future machinery mirrors :class:`RandomizedAdversary`, so the
-``meetTime`` and ``future`` oracles stay consistent with the replayed
-interactions, and the ablation experiment (E18) can rerun the paper's
+The committed-future machinery is shared with :class:`RandomizedAdversary`
+through :class:`~repro.adversaries.committed.CommittedBlockAdversary`, so
+the ``meetTime`` and ``future`` oracles stay consistent with the replayed
+interactions, both engines can consume the adversary (the fast one in
+batches), and the ablation experiment (E18) can rerun the paper's
 algorithms unchanged under the skewed distribution.
 """
 
@@ -20,15 +22,14 @@ from __future__ import annotations
 
 import bisect
 import itertools
-import math
 import random
 from typing import Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from ..core.data import NodeId
 from ..core.exceptions import ConfigurationError
-from ..core.interaction import Interaction, InteractionSequence
-from ..core.node import NetworkState
-from .base import Adversary
+from .committed import CommittedBlockAdversary
 
 
 def zipf_weights(nodes: Sequence[NodeId], exponent: float = 1.0) -> Dict[NodeId, float]:
@@ -49,7 +50,7 @@ def hub_weights(
     return weights
 
 
-class NonUniformRandomizedAdversary(Adversary):
+class NonUniformRandomizedAdversary(CommittedBlockAdversary):
     """Randomized adversary with pair probability proportional to weight products."""
 
     family = "randomized"
@@ -61,9 +62,7 @@ class NonUniformRandomizedAdversary(Adversary):
         seed: Optional[int] = None,
         max_horizon: int = 10_000_000,
     ) -> None:
-        self._nodes: List[NodeId] = list(nodes)
-        if len(self._nodes) < 2:
-            raise ConfigurationError("need at least two nodes")
+        super().__init__(nodes, max_horizon=max_horizon)
         weights = weights or {node: 1.0 for node in self._nodes}
         missing = set(self._nodes) - set(weights)
         if missing:
@@ -76,6 +75,14 @@ class NonUniformRandomizedAdversary(Adversary):
         self._pairs: List[Tuple[NodeId, NodeId]] = list(
             itertools.combinations(self._nodes, 2)
         )
+        # Dense index view of the same pair list, for committed-block commits.
+        self._pair_indices = np.array(
+            [
+                (self._index_of[u], self._index_of[v])
+                for u, v in self._pairs
+            ],
+            dtype=np.int64,
+        )
         pair_weights = [
             self._weights[u] * self._weights[v] for u, v in self._pairs
         ]
@@ -87,9 +94,6 @@ class NonUniformRandomizedAdversary(Adversary):
             self._cumulative.append(running)
         self._cumulative[-1] = 1.0
         self._rng = random.Random(seed)
-        self._max_horizon = max_horizon
-        self._committed: List[Tuple[NodeId, NodeId]] = []
-        self._meeting_index: Dict[frozenset, List[int]] = {}
 
     # ------------------------------------------------------------------ #
     def pair_probability(self, u: NodeId, v: NodeId) -> float:
@@ -101,53 +105,23 @@ class NonUniformRandomizedAdversary(Adversary):
         lower = self._cumulative[index - 1] if index > 0 else 0.0
         return self._cumulative[index] - lower
 
-    def _draw_pair(self) -> Tuple[NodeId, NodeId]:
-        """Draw one pair according to the weight-product distribution."""
-        point = self._rng.random()
-        index = bisect.bisect_left(self._cumulative, point)
-        index = min(index, len(self._pairs) - 1)
-        return self._pairs[index]
+    def _sample_block(self, k: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Draw ``k`` pairs by inverse-CDF sampling, one ``random()`` each.
 
-    def ensure_committed(self, length: int) -> None:
-        """Extend the committed sequence to at least ``length`` interactions."""
-        length = min(length, self._max_horizon)
-        while len(self._committed) < length:
-            pair = self._draw_pair()
-            time = len(self._committed)
-            self._committed.append(pair)
-            self._meeting_index.setdefault(frozenset(pair), []).append(time)
+        Exactly one RNG value is consumed per committed interaction, in
+        commit order, so the committed future is a pure prefix-deterministic
+        function of the seed regardless of chunk alignment.
+        """
+        cumulative = self._cumulative
+        last = len(self._pairs) - 1
+        picks = np.empty(k, dtype=np.int64)
+        for position in range(k):
+            point = self._rng.random()
+            picks[position] = min(bisect.bisect_left(cumulative, point), last)
+        chosen = self._pair_indices[picks]
+        return chosen[:, 0].copy(), chosen[:, 1].copy()
 
-    # ------------------------------------------------------------------ #
-    # InteractionProvider / committed-future protocol
-    # ------------------------------------------------------------------ #
-    def interaction_at(
-        self, time: int, state: NetworkState
-    ) -> Optional[Interaction]:
-        if time >= self._max_horizon:
-            return None
-        self.ensure_committed(time + 1)
-        u, v = self._committed[time]
-        return Interaction(time=time, u=u, v=v)
-
-    def committed_prefix(self, length: int) -> InteractionSequence:
-        self.ensure_committed(length)
-        return InteractionSequence.from_pairs(self._committed[:length])
-
-    def next_meeting(
-        self, node: NodeId, peer: NodeId, after: int
-    ) -> Optional[int]:
-        """Next committed time ``> after`` at which ``{node, peer}`` interact."""
-        key = frozenset((node, peer))
-        expected_wait = max(16, int(2.0 / max(self.pair_probability(node, peer), 1e-9)))
-        while True:
-            times = self._meeting_index.get(key, ())
-            position = bisect.bisect_right(times, after)
-            if position < len(times):
-                return times[position]
-            if len(self._committed) >= self._max_horizon:
-                return None
-            self.ensure_committed(len(self._committed) + expected_wait)
-
-    def nodes(self) -> List[NodeId]:
-        """The node set the adversary draws from."""
-        return list(self._nodes)
+    def _meeting_search_block(self, iu: int, iv: int) -> int:
+        """Extend by the pair's expected waiting time per probe."""
+        u, v = self._nodes[iu], self._nodes[iv]
+        return max(16, int(2.0 / max(self.pair_probability(u, v), 1e-9)))

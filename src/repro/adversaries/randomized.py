@@ -7,34 +7,30 @@ queries and the knowledge oracles' ``next_meeting`` queries, so ``meetTime``
 and ``future`` are always consistent with the interactions the executor
 replays.
 
-Draws are committed in fixed-size numpy batches (:meth:`draw_block`) instead
-of one ``randrange`` pair at a time, so the committed future for a given
+Draws are committed in fixed-size numpy batches (``draw_block``) instead of
+one ``randrange`` pair at a time, so the committed future for a given
 ``(nodes, seed)`` is a pure function of the seed: it does not depend on the
 query pattern (single ``interaction_at`` calls, block extensions from
 ``next_meeting``, parallel workers re-deriving the same trial) — a property
-the fast execution engine and the parallel sweep runner rely on.
+the fast execution engine and the parallel sweep runner rely on.  The
+committed-block machinery itself lives in
+:class:`~repro.adversaries.committed.CommittedBlockAdversary` and is shared
+with the non-uniform and mobility adversary families.
 """
 
 from __future__ import annotations
 
-from bisect import bisect_right
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..core.data import NodeId
-from ..core.exceptions import ConfigurationError
-from ..core.interaction import Interaction, InteractionSequence
-from ..core.node import NetworkState
-from .base import Adversary
+from .committed import COMMIT_CHUNK, CommittedBlockAdversary
 
-#: Committed draws are extended in fixed chunks of this many interactions so
-#: that the RNG stream is consumed identically regardless of the query
-#: pattern (chunk boundaries never depend on *which* query forced growth).
-COMMIT_CHUNK = 4096
+__all__ = ["COMMIT_CHUNK", "RandomizedAdversary"]
 
 
-class RandomizedAdversary(Adversary):
+class RandomizedAdversary(CommittedBlockAdversary):
     """Uniformly random pairwise interactions with a lazily committed future.
 
     Args:
@@ -55,190 +51,19 @@ class RandomizedAdversary(Adversary):
         seed: Optional[int] = None,
         max_horizon: int = 10_000_000,
     ) -> None:
-        self._nodes: List[NodeId] = list(nodes)
-        if len(self._nodes) < 2:
-            raise ConfigurationError("need at least two nodes")
-        self._index_of: Dict[NodeId, int] = {
-            node: position for position, node in enumerate(self._nodes)
-        }
+        super().__init__(nodes, max_horizon=max_horizon)
         self._rng = np.random.Generator(np.random.PCG64(seed))
-        self._max_horizon = max_horizon
-        # Committed draws, stored as dense node indices in doubling buffers
-        # (amortised O(1) growth) plus a canonical pair code per interaction
-        # used for vectorised meeting lookups.
-        self._size = 0
-        self._pi = np.empty(0, dtype=np.int64)
-        self._pj = np.empty(0, dtype=np.int64)
-        self._codes = np.empty(0, dtype=np.int64)
-        # Per-pair sorted list of meeting times, built lazily per queried
-        # pair; the watermark records how much of the committed prefix the
-        # pair's list already covers.
-        self._meeting_index: Dict[int, List[int]] = {}
-        self._meeting_watermark: Dict[int, int] = {}
 
-    # ------------------------------------------------------------------ #
-    # Committed-future machinery
-    # ------------------------------------------------------------------ #
-    def draw_block(self, k: int) -> Tuple[np.ndarray, np.ndarray]:
-        """Draw and *commit* ``k`` uniform pairs, as dense node-index arrays.
+    def _sample_block(self, k: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Draw ``k`` uniform pairs, vectorised.
 
         Each pair is drawn with the classic two-step scheme (uniform ``i``,
         uniform ``j`` among the remaining ``n - 1`` indices), vectorised over
         the whole block, so the per-pair distribution is exactly uniform over
         the ``n(n-1)/2`` unordered pairs.
-
-        The drawn pairs are appended to the committed sequence (truncated at
-        ``max_horizon``), so what this method returns is always exactly what
-        the adversary will replay — drawing can never desynchronise the RNG
-        stream from the committed future.  Note that direct calls with
-        arbitrary ``k`` change the chunk alignment relative to an adversary
-        grown only through queries; the committed future stays internally
-        consistent either way.
         """
         n = len(self._nodes)
-        k = min(k, self._max_horizon - self._size)
-        if k <= 0:
-            empty = np.empty(0, dtype=np.int64)
-            return empty, empty
         i = self._rng.integers(0, n, size=k)
         j = self._rng.integers(0, n - 1, size=k)
         j = np.where(j >= i, j + 1, j)
-        self._grow(k)
-        start, stop = self._size, self._size + k
-        self._pi[start:stop] = i
-        self._pj[start:stop] = j
-        self._codes[start:stop] = np.minimum(i, j) * n + np.maximum(i, j)
-        self._size = stop
         return i, j
-
-    def _grow(self, extra: int) -> None:
-        """Ensure the buffers can hold ``extra`` more committed interactions."""
-        needed = self._size + extra
-        if needed <= self._pi.shape[0]:
-            return
-        capacity = max(needed, 2 * self._pi.shape[0], COMMIT_CHUNK)
-        for name in ("_pi", "_pj", "_codes"):
-            old = getattr(self, name)
-            new = np.empty(capacity, dtype=np.int64)
-            new[: self._size] = old[: self._size]
-            setattr(self, name, new)
-
-    def ensure_committed(self, length: int) -> None:
-        """Extend the committed sequence to at least ``length`` interactions.
-
-        Growth happens in fixed :data:`COMMIT_CHUNK` batches so the RNG
-        stream consumption — and therefore the committed future — does not
-        depend on which query forced the growth.
-        """
-        if length > self._max_horizon:
-            length = self._max_horizon
-        while self._size < length:
-            self.draw_block(COMMIT_CHUNK)
-
-    @property
-    def committed_length(self) -> int:
-        """Number of interactions committed so far."""
-        return self._size
-
-    def committed_pair(self, time: int) -> Tuple[NodeId, NodeId]:
-        """The committed pair at ``time`` (which must already be committed)."""
-        return (
-            self._nodes[int(self._pi[time])],
-            self._nodes[int(self._pj[time])],
-        )
-
-    def committed_prefix(self, length: int) -> InteractionSequence:
-        """The first ``length`` committed interactions as a sequence."""
-        self.ensure_committed(length)
-        length = min(length, self._size)
-        nodes = self._nodes
-        pairs = [
-            (nodes[i], nodes[j])
-            for i, j in zip(
-                self._pi[:length].tolist(), self._pj[:length].tolist()
-            )
-        ]
-        return InteractionSequence.from_pairs(pairs)
-
-    def committed_index_block(
-        self, start: int, stop: int
-    ) -> Tuple[np.ndarray, np.ndarray]:
-        """Committed pairs in ``[start, stop)`` as dense node-index arrays.
-
-        Commits further draws as needed; the returned block is truncated at
-        ``max_horizon``, so it may be shorter than requested (empty once the
-        safety horizon is exhausted).  This is the fast engine's batched
-        alternative to per-interaction :meth:`interaction_at` calls.
-        """
-        self.ensure_committed(stop)
-        stop = min(stop, self._size)
-        if start >= stop:
-            empty = np.empty(0, dtype=np.int64)
-            return empty, empty
-        return self._pi[start:stop], self._pj[start:stop]
-
-    # ------------------------------------------------------------------ #
-    # InteractionProvider protocol
-    # ------------------------------------------------------------------ #
-    def interaction_at(
-        self, time: int, state: NetworkState
-    ) -> Optional[Interaction]:
-        if time >= self._max_horizon:
-            return None
-        self.ensure_committed(time + 1)
-        u, v = self.committed_pair(time)
-        return Interaction(time=time, u=u, v=v)
-
-    # ------------------------------------------------------------------ #
-    # Committed-future queries (for knowledge oracles)
-    # ------------------------------------------------------------------ #
-    def _meeting_times(self, code: int) -> List[int]:
-        """Sorted committed meeting times of the pair ``code``, up to date.
-
-        The per-pair list is built (and later extended) by one vectorised
-        scan of the committed suffix since the pair's watermark, so only
-        pairs that are actually queried ever pay for indexing.
-        """
-        times = self._meeting_index.get(code)
-        if times is None:
-            times = []
-            self._meeting_index[code] = times
-            scanned = 0
-        else:
-            scanned = self._meeting_watermark.get(code, 0)
-        if scanned < self._size:
-            hits = np.nonzero(self._codes[scanned : self._size] == code)[0]
-            if hits.size:
-                times.extend((hits + scanned).tolist())
-        self._meeting_watermark[code] = self._size
-        return times
-
-    def next_meeting(
-        self, node: NodeId, peer: NodeId, after: int
-    ) -> Optional[int]:
-        """Next committed time ``> after`` at which ``{node, peer}`` interact.
-
-        Extends the committed future (in blocks) until the meeting is found
-        or the safety horizon is reached.
-        """
-        iu = self._index_of.get(node)
-        iv = self._index_of.get(peer)
-        if iu is None or iv is None or iu == iv:
-            return None
-        n = len(self._nodes)
-        code = min(iu, iv) * n + max(iu, iv)
-        while True:
-            times = self._meeting_times(code)
-            position = bisect_right(times, after)
-            if position < len(times):
-                return times[position]
-            if self._size >= self._max_horizon:
-                return None
-            # Extend by blocks proportional to the expected waiting time
-            # (n^2 / 2 interactions per specific pair) to amortise the cost.
-            block = max(COMMIT_CHUNK, n * n // 2)
-            self.ensure_committed(self._size + block)
-
-    def nodes(self) -> List[NodeId]:
-        """The node set the adversary draws from."""
-        return list(self._nodes)

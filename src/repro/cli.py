@@ -26,8 +26,10 @@ import inspect
 import sys
 from typing import List, Optional
 
+from .adversaries.factory import ADVERSARY_FAMILIES
 from .core.algorithm import registry
 from .experiments.registry import EXPERIMENTS, run_experiment
+from .sim.batch import sweep_adversary_batched
 from .sim.parallel import sweep_random_adversary
 from .sim.runner import (
     ENGINES,
@@ -65,6 +67,17 @@ def build_parser() -> argparse.ArgumentParser:
             "for any worker count (default: 1)",
         )
 
+    def add_adversary_option(target: argparse.ArgumentParser) -> None:
+        target.add_argument(
+            "--adversary",
+            choices=sorted(ADVERSARY_FAMILIES),
+            default="uniform",
+            help="committed adversary family: 'uniform' is the paper's "
+            "Section 4 randomized adversary; 'zipf'/'hub' skew the pair "
+            "distribution; 'waypoint'/'community' are mobility models "
+            "(default: uniform)",
+        )
+
     subparsers.add_parser("list", help="list available experiments and algorithms")
 
     run_parser = subparsers.add_parser("run", help="run one experiment by id (e.g. E11)")
@@ -92,10 +105,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--tau", type=int, default=None, help="tau parameter (waiting_greedy only)"
     )
     add_engine_option(trial_parser)
+    add_adversary_option(trial_parser)
 
     sweep_parser = subparsers.add_parser(
         "sweep",
-        help="sweep n for one algorithm against the randomized adversary",
+        help="sweep n for one algorithm against a committed adversary",
     )
     sweep_parser.add_argument("algorithm", help="registered algorithm name")
     sweep_parser.add_argument(
@@ -114,6 +128,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_engine_option(sweep_parser)
     add_workers_option(sweep_parser)
+    add_adversary_option(sweep_parser)
+    sweep_parser.add_argument(
+        "--batched",
+        action="store_true",
+        help="run each sweep cell as one batched engine invocation "
+        "(fast engine; results identical to the per-trial path)",
+    )
     return parser
 
 
@@ -153,9 +174,13 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.command == "trial":
         algorithm = _create_algorithm(args.algorithm, args.n, tau=args.tau)
-        metrics = run_random_trial(algorithm, args.n, args.seed, engine=args.engine)
+        metrics = run_random_trial(
+            algorithm, args.n, args.seed, engine=args.engine,
+            adversary=args.adversary,
+        )
         print(
-            f"algorithm={metrics.algorithm} n={metrics.n} terminated={metrics.terminated} "
+            f"algorithm={metrics.algorithm} n={metrics.n} "
+            f"adversary={args.adversary} terminated={metrics.terminated} "
             f"duration={metrics.duration} transmissions={metrics.transmissions}"
         )
         return 0 if metrics.terminated else 1
@@ -177,14 +202,38 @@ def main(argv: Optional[List[str]] = None) -> int:
                 )
         except ValueError as error:
             parser.error(str(error))
-        sweep = sweep_random_adversary(
-            lambda n: _create_algorithm(args.algorithm, n),
-            ns,
-            args.trials,
-            master_seed=args.master_seed,
-            engine=args.engine,
-            workers=args.workers,
-        )
+        if args.batched:
+            if args.workers != 1:
+                print(
+                    "note: --batched runs each cell in-process; --workers "
+                    "ignored",
+                    file=sys.stderr,
+                )
+            if args.engine != "fast":
+                print(
+                    f"note: --batched is a fast-engine feature; engine "
+                    f"{args.engine!r} falls back to per-trial execution "
+                    "(identical results, none of the batching)",
+                    file=sys.stderr,
+                )
+            sweep = sweep_adversary_batched(
+                lambda n: _create_algorithm(args.algorithm, n),
+                ns,
+                args.trials,
+                master_seed=args.master_seed,
+                engine=args.engine,
+                adversary=args.adversary,
+            )
+        else:
+            sweep = sweep_random_adversary(
+                lambda n: _create_algorithm(args.algorithm, n),
+                ns,
+                args.trials,
+                master_seed=args.master_seed,
+                engine=args.engine,
+                workers=args.workers,
+                adversary=args.adversary,
+            )
         _emit(sweep.to_table().to_markdown(), args.output)
         return 0
 

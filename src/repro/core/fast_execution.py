@@ -15,27 +15,36 @@ dominates long randomized-adversary runs:
   beyond the ``decide`` call that received it (none of the registered
   algorithms do; persistent per-node state belongs in ``view.memory``,
   which is stable across the run under both engines);
-* interactions from a :class:`~repro.adversaries.randomized.RandomizedAdversary`
-  are consumed in numpy blocks (:meth:`committed_index_block`), skipping the
-  per-interaction :class:`~repro.core.interaction.Interaction` allocation
-  entirely;
+* interactions from any adversary implementing the committed-block protocol
+  of :class:`~repro.adversaries.committed.CommittedBlockAdversary` — the
+  uniform and non-uniform randomized adversaries as well as the mobility
+  families — are consumed in numpy blocks (``committed_index_block``),
+  skipping the per-interaction
+  :class:`~repro.core.interaction.Interaction` allocation entirely;
 * data tokens are replaced by per-node origin counters and folded payloads,
   which carry exactly the information the result needs.
 
 The reference :class:`Executor` remains the semantics oracle; the
-differential tests in ``tests/test_fast_execution.py`` assert equality of
-the two engines across all registered algorithms and seeds.
+differential tests in ``tests/test_fast_execution.py`` and
+``tests/test_differential_adversaries.py`` assert equality of the two
+engines across all registered algorithms, seeds and adversary families.
 
 Supported interaction sources: finite
-:class:`~repro.core.interaction.InteractionSequence` objects, the randomized
-adversary (batched), and any provider whose ``interaction_at`` only uses the
-read-only query API of :class:`~repro.core.node.NetworkState`
-(``owns_data``, ``has_transmitted``, ``owners``, ``remaining_data_count``),
-which covers the adaptive adversaries in :mod:`repro.adversaries`.
+:class:`~repro.core.interaction.InteractionSequence` objects, committed
+adversaries (batched, detected through their ``committed_index_block``
+method), and any provider whose ``interaction_at`` only uses the read-only
+query API of :class:`~repro.core.node.NetworkState` (``owns_data``,
+``has_transmitted``, ``owners``, ``remaining_data_count``), which covers
+the adaptive adversaries in :mod:`repro.adversaries`.
+
+For sweeps, :meth:`FastExecutor.run_many` executes a whole cell of trials
+in one engine invocation (see :mod:`repro.sim.batch`), sharing the
+per-instance precomputation across trials.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Any, Dict, Iterable, List, Optional, Set, Tuple, Union
 
 from .algorithm import DODAAlgorithm
@@ -45,10 +54,26 @@ from .execution import ExecutionResult, InteractionProvider, Transmission
 from .interaction import InteractionSequence, _canonical_pair
 from .node import NodeView
 
-#: Number of committed interactions fetched per batch from a randomized
+#: Number of committed interactions fetched per batch from a committed
 #: adversary.  Large enough to amortise the numpy slicing, small enough that
 #: an early termination does not force drawing far beyond the duration.
 _BLOCK = 4096
+
+
+@dataclass
+class BatchTrial:
+    """One trial of a :meth:`FastExecutor.run_many` batch.
+
+    ``algorithm`` / ``knowledge`` default to the executor's own when None —
+    pass per-trial instances when each trial carries its own oracle state
+    (e.g. a ``meetTime`` oracle bound to that trial's adversary).
+    """
+
+    source: Any
+    max_interactions: Optional[int] = None
+    algorithm: Optional[Any] = None
+    knowledge: Optional[Any] = None
+    initial_payloads: Optional[dict] = None
 
 
 class _StateFacade:
@@ -156,6 +181,17 @@ class FastExecutor:
         self.enforce_oblivious = enforce_oblivious
         available = () if knowledge is None else knowledge.provides()
         algorithm.validate_knowledge(available)
+        # Canonical presentation order of interacting pairs, mirroring
+        # Interaction's ordering: precomputed once per executor as a rank per
+        # dense index when the identifiers are totally ordered, with a
+        # per-pair fallback.  Shared by every run of this instance.
+        try:
+            rank_of = {node: r for r, node in enumerate(sorted(self.nodes))}
+            self._rank: Optional[List[int]] = [
+                rank_of[node] for node in self.nodes
+            ]
+        except TypeError:
+            self._rank = None
 
     # ------------------------------------------------------------------ #
     def run(
@@ -168,6 +204,52 @@ class FastExecutor:
 
         Same contract as :meth:`repro.core.execution.Executor.run`.
         """
+        return self._execute(
+            self.algorithm, self.knowledge, source, max_interactions,
+            initial_payloads,
+        )
+
+    def run_many(self, trials: Iterable[BatchTrial]) -> List[ExecutionResult]:
+        """Run a batch of trials in one engine invocation.
+
+        Every trial shares this executor's node set, sink, aggregation and
+        per-instance precomputation (dense index map, canonical ranks); the
+        algorithm and knowledge may vary per trial (``None`` selects the
+        executor's own).  Results are identical to calling :meth:`run` once
+        per trial with fresh executors — the batched sweep runner in
+        :mod:`repro.sim.batch` differentially tests exactly that.
+        """
+        results: List[ExecutionResult] = []
+        for trial in trials:
+            algorithm = (
+                trial.algorithm if trial.algorithm is not None else self.algorithm
+            )
+            knowledge = (
+                trial.knowledge if trial.knowledge is not None else self.knowledge
+            )
+            available = () if knowledge is None else knowledge.provides()
+            algorithm.validate_knowledge(available)
+            results.append(
+                self._execute(
+                    algorithm,
+                    knowledge,
+                    trial.source,
+                    trial.max_interactions,
+                    trial.initial_payloads,
+                )
+            )
+        return results
+
+    # ------------------------------------------------------------------ #
+    def _execute(
+        self,
+        algorithm: DODAAlgorithm,
+        knowledge: Any,
+        source: Union[InteractionSequence, InteractionProvider],
+        max_interactions: Optional[int],
+        initial_payloads: Optional[dict],
+    ) -> ExecutionResult:
+        """One execution with an explicit algorithm/knowledge binding."""
         if isinstance(source, InteractionSequence):
             if max_interactions is None:
                 max_interactions = len(source)
@@ -178,18 +260,9 @@ class FastExecutor:
             )
 
         run = _RunState(self.nodes, self.sink, initial_payloads)
-        self.algorithm.on_run_start(self.nodes, self.sink)
+        algorithm.on_run_start(self.nodes, self.sink)
 
-        # Canonical presentation order of interacting pairs, mirroring
-        # Interaction's ordering: precomputed as a rank per dense index when
-        # the identifiers are totally ordered, with a per-pair fallback.
-        try:
-            rank_of = {node: r for r, node in enumerate(sorted(self.nodes))}
-            rank: Optional[List[int]] = [rank_of[node] for node in self.nodes]
-        except TypeError:
-            rank = None
-
-        ctx = _LoopContext(self, run, rank, max_interactions)
+        ctx = _LoopContext(self, algorithm, knowledge, run, self._rank, max_interactions)
         if isinstance(source, InteractionSequence):
             ctx.consume_sequence(source)
         elif hasattr(source, "committed_index_block"):
@@ -225,11 +298,14 @@ class _LoopContext:
     def __init__(
         self,
         executor: FastExecutor,
+        algorithm: DODAAlgorithm,
+        knowledge: Any,
         run: _RunState,
         rank: Optional[List[int]],
         max_interactions: int,
     ) -> None:
         self.executor = executor
+        self.algorithm = algorithm
         self.run = run
         self.rank = rank
         self.max_interactions = max_interactions
@@ -240,11 +316,11 @@ class _LoopContext:
         # The two views are allocated once and re-pointed per interaction.
         self._first = NodeView(
             id=None, is_sink=False, owns_data=True, memory={},
-            knowledge=executor.knowledge,
+            knowledge=knowledge,
         )
         self._second = NodeView(
             id=None, is_sink=False, owns_data=True, memory={},
-            knowledge=executor.knowledge,
+            knowledge=knowledge,
         )
 
     # ------------------------------------------------------------------ #
@@ -277,7 +353,7 @@ class _LoopContext:
         second.id = v
         second.is_sink = iv == sink_index
         second.memory = run.memory[iv]
-        algorithm = executor.algorithm
+        algorithm = self.algorithm
         enforce = executor.enforce_oblivious and algorithm.oblivious
         if enforce:
             before = (dict(first.memory), dict(second.memory))

@@ -15,6 +15,7 @@ from .extensions import (
 )
 from .impossibility import run_theorem1, run_theorem2, run_theorem3
 from .knowledge import run_theorem4, run_theorem5, run_theorem6
+from .mobility import run_mobility_adversaries, run_trace_replay
 from .randomized import (
     run_corollary1,
     run_cost_conversion,
@@ -60,6 +61,8 @@ EXPERIMENTS: Dict[str, ExperimentSpec] = {
         ExperimentSpec("E18", "Extension: non-uniform randomized adversary (Q3)", run_nonuniform_adversary),
         ExperimentSpec("E19", "Ablation: Waiting Greedy tau trade-off (Theorem 10)", run_tau_tradeoff),
         ExperimentSpec("E20", "Ablation: spanning-tree edge-order robustness", run_tree_order_ablation),
+        ExperimentSpec("E21", "Extension: mobility adversaries (waypoint, community)", run_mobility_adversaries),
+        ExperimentSpec("E22", "Extension: contact-trace replay (committed protocol)", run_trace_replay),
     )
 }
 

@@ -4,7 +4,9 @@ from .metrics import TrialMetrics, durations, mean_duration, termination_rate
 
 # The canonical sweep entry point is the parallel-capable one; it delegates
 # to the serial implementation in .runner for workers <= 1, so there is a
-# single public API surface.
+# single public API surface.  The batched variant runs whole sweep cells in
+# one engine invocation.
+from .batch import run_sweep_cell, sweep_adversary_batched
 from .parallel import sweep_random_adversary
 from .results import ExperimentReport, ResultTable
 from .runner import (
@@ -12,8 +14,11 @@ from .runner import (
     SweepPoint,
     SweepResult,
     build_knowledge_for_random_run,
+    build_trial_adversary,
     default_horizon,
+    derive_sweep_trial,
     execute_random_trial,
+    resolve_adversary_family,
     resolve_engine,
     run_random_trial,
     run_sweep_trial,
@@ -29,14 +34,19 @@ __all__ = [
     "SweepResult",
     "TrialMetrics",
     "build_knowledge_for_random_run",
+    "build_trial_adversary",
     "default_horizon",
     "derive_seed",
+    "derive_sweep_trial",
     "durations",
     "execute_random_trial",
     "mean_duration",
+    "resolve_adversary_family",
     "resolve_engine",
     "run_random_trial",
+    "run_sweep_cell",
     "run_sweep_trial",
+    "sweep_adversary_batched",
     "sweep_random_adversary",
     "termination_rate",
     "trial_seeds",

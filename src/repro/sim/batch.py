@@ -1,0 +1,180 @@
+"""Whole-cell batched sweep execution.
+
+The per-trial runner (:func:`repro.sim.runner.run_sweep_trial`) assembles a
+fresh executor for every ``(n, trial)`` grid cell entry.  This module runs a
+whole sweep cell — all trials of one algorithm at one ``n`` — through **one
+engine invocation**: a single :class:`~repro.core.fast_execution.
+FastExecutor` is constructed per cell and its :meth:`~repro.core.
+fast_execution.FastExecutor.run_many` executes every trial, sharing the
+dense node-index map and canonical-rank precomputation across trials.
+
+Determinism contract: the batched sweep derives exactly the same per-trial
+seeds, horizons and adversaries as the serial and parallel runners, so
+:func:`sweep_adversary_batched` reproduces
+:func:`repro.sim.runner.sweep_random_adversary` metric for metric (the
+differential tests in ``tests/test_differential_adversaries.py`` assert
+this for every adversary family).  With ``engine="reference"`` the cell
+falls back to per-trial reference executors — useful as the oracle side of
+that differential.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..core.algorithm import DODAAlgorithm
+from ..core.data import NodeId
+from ..core.fast_execution import BatchTrial, FastExecutor
+from .metrics import TrialMetrics
+from .runner import (
+    AlgorithmFactory,
+    SweepPoint,
+    SweepResult,
+    build_knowledge_for_random_run,
+    build_trial_adversary,
+    derive_sweep_trial,
+    resolve_adversary_family,
+    resolve_engine,
+    validate_sweep_parameters,
+)
+
+__all__ = ["run_sweep_cell", "sweep_adversary_batched"]
+
+
+def run_sweep_cell(
+    algorithm_factory: AlgorithmFactory,
+    n: int,
+    trials: int,
+    master_seed: int = 0,
+    experiment: str = "sweep",
+    horizon_fn: Optional[Callable[[DODAAlgorithm, int], int]] = None,
+    sink: NodeId = 0,
+    engine: str = "fast",
+    adversary: str = "uniform",
+    adversary_params: Optional[Dict[str, Any]] = None,
+) -> List[TrialMetrics]:
+    """Run all ``trials`` of one sweep cell in one engine invocation.
+
+    Seeds, horizons, adversaries and knowledge oracles are derived exactly
+    as in :func:`repro.sim.runner.run_sweep_trial`, so the returned metrics
+    are identical to the per-trial path.  ``engine="fast"`` routes the cell
+    through :meth:`FastExecutor.run_many`; ``engine="reference"`` runs one
+    reference executor per trial (the semantics oracle for differential
+    tests of this very function).
+
+    Raises:
+        ValueError: if ``n``/``trials`` are invalid or ``engine`` /
+            ``adversary`` is unknown.
+    """
+    validate_sweep_parameters([n], trials)
+    executor_cls = resolve_engine(engine)
+    resolve_adversary_family(adversary)
+    nodes = list(range(n))
+    if sink not in nodes:
+        raise ValueError("sink must be one of the nodes 0..n-1")
+
+    def prepare(trial: int):
+        """One trial's engine inputs, derived exactly like run_sweep_trial."""
+        algorithm, seed, horizon = derive_sweep_trial(
+            algorithm_factory, n, trial, master_seed=master_seed,
+            experiment=experiment, horizon_fn=horizon_fn,
+        )
+        adversary_obj = build_trial_adversary(
+            adversary, nodes, seed, horizon, sink, adversary_params
+        )
+        knowledge, committed = build_knowledge_for_random_run(
+            algorithm, adversary_obj, nodes, sink, horizon
+        )
+        source = committed if committed is not None else adversary_obj
+        return algorithm, knowledge, source, horizon, seed
+
+    # Trials are prepared lazily — each committed future (and any
+    # horizon-length committed prefix a knowledge oracle pre-draws) is only
+    # alive while its trial runs, matching the serial path's peak memory.
+    meta: List[Tuple[str, int, int]] = []
+
+    def record(algorithm, horizon, seed):
+        meta.append((algorithm.name, horizon, seed))
+
+    if executor_cls is FastExecutor:
+        first = prepare(0)
+        cell_executor = FastExecutor(nodes, sink, first[0], knowledge=first[1])
+
+        def batch_trials():
+            for trial in range(trials):
+                algorithm, knowledge, source, horizon, seed = (
+                    first if trial == 0 else prepare(trial)
+                )
+                record(algorithm, horizon, seed)
+                yield BatchTrial(
+                    source=source,
+                    max_interactions=horizon,
+                    algorithm=algorithm,
+                    knowledge=knowledge,
+                )
+
+        results = cell_executor.run_many(batch_trials())
+    else:
+        results = []
+        for trial in range(trials):
+            algorithm, knowledge, source, horizon, seed = prepare(trial)
+            record(algorithm, horizon, seed)
+            results.append(
+                executor_cls(nodes, sink, algorithm, knowledge=knowledge).run(
+                    source, max_interactions=horizon
+                )
+            )
+
+    return [
+        TrialMetrics.from_result(
+            result, n=n, seed=seed, algorithm=name, horizon=horizon
+        )
+        for result, (name, horizon, seed) in zip(results, meta)
+    ]
+
+
+def sweep_adversary_batched(
+    algorithm_factory: AlgorithmFactory,
+    ns: Sequence[int],
+    trials: int,
+    master_seed: int = 0,
+    experiment: str = "sweep",
+    horizon_fn: Optional[Callable[[DODAAlgorithm, int], int]] = None,
+    sink: NodeId = 0,
+    engine: str = "fast",
+    adversary: str = "uniform",
+    adversary_params: Optional[Dict[str, Any]] = None,
+) -> SweepResult:
+    """Run an ``n`` sweep with one engine invocation per ``(algorithm, n)`` cell.
+
+    Produces the same :class:`~repro.sim.runner.SweepResult` as
+    :func:`repro.sim.runner.sweep_random_adversary` (serial) and
+    :func:`repro.sim.parallel.sweep_random_adversary` (multi-process), trial
+    for trial — only the execution strategy differs.
+
+    Raises:
+        ValueError: if the sweep parameters, ``engine`` or ``adversary`` are
+            invalid.
+    """
+    validate_sweep_parameters(ns, trials)
+    resolve_engine(engine)
+    resolve_adversary_family(adversary)
+    sample_algorithm = algorithm_factory(int(ns[0]))
+    result = SweepResult(algorithm=sample_algorithm.name)
+    for n in ns:
+        metrics = run_sweep_cell(
+            algorithm_factory,
+            int(n),
+            trials,
+            master_seed=master_seed,
+            experiment=experiment,
+            horizon_fn=horizon_fn,
+            sink=sink,
+            engine=engine,
+            adversary=adversary,
+            adversary_params=adversary_params,
+        )
+        result.points.append(
+            SweepPoint(n=int(n), algorithm=result.algorithm, trials=metrics)
+        )
+    return result

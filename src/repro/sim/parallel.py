@@ -27,6 +27,7 @@ from .runner import (
     AlgorithmFactory,
     SweepPoint,
     SweepResult,
+    resolve_adversary_family,
     resolve_engine,
     run_sweep_trial,
     sweep_random_adversary as _serial_sweep,
@@ -57,6 +58,8 @@ def _run_task(task: Tuple[int, int]) -> TrialMetrics:
         horizon_fn=config["horizon_fn"],
         sink=config["sink"],
         engine=config["engine"],
+        adversary=config["adversary"],
+        adversary_params=config["adversary_params"],
     )
 
 
@@ -78,21 +81,25 @@ def sweep_random_adversary(
     sink: NodeId = 0,
     engine: str = "reference",
     workers: int = 1,
+    adversary: str = "uniform",
+    adversary_params: Optional[dict] = None,
 ) -> SweepResult:
-    """Run a randomized-adversary sweep, optionally across worker processes.
+    """Run a committed-adversary sweep, optionally across worker processes.
 
     Identical to :func:`repro.sim.runner.sweep_random_adversary` plus the
     ``workers`` parameter.  ``workers <= 1`` (or a platform without the
     ``fork`` start method) runs serially; any other value distributes the
     ``ns x trials`` grid over a process pool.  Results are deterministic
-    and independent of ``workers``.
+    and independent of ``workers`` for every adversary family (each worker
+    re-derives the trial's committed future from its seed alone).
 
     Raises:
-        ValueError: if ``ns`` is empty, ``trials < 1``, ``workers < 1`` or
-            ``engine`` is unknown.
+        ValueError: if ``ns`` is empty, ``trials < 1``, ``workers < 1``,
+            or ``engine`` / ``adversary`` is unknown.
     """
     validate_sweep_parameters(ns, trials)
     resolve_engine(engine)
+    resolve_adversary_family(adversary)
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
     context = _fork_context()
@@ -106,6 +113,8 @@ def sweep_random_adversary(
             horizon_fn=horizon_fn,
             sink=sink,
             engine=engine,
+            adversary=adversary,
+            adversary_params=adversary_params,
         )
 
     sample_algorithm = algorithm_factory(int(ns[0]))
@@ -117,6 +126,8 @@ def sweep_random_adversary(
         "horizon_fn": horizon_fn,
         "sink": sink,
         "engine": engine,
+        "adversary": adversary,
+        "adversary_params": adversary_params,
     }
     processes = min(workers, len(tasks))
     chunksize = max(1, len(tasks) // (processes * 4))

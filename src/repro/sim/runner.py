@@ -11,7 +11,12 @@ import math
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
-from ..adversaries.randomized import RandomizedAdversary
+from ..adversaries.committed import CommittedBlockAdversary
+from ..adversaries.factory import (
+    ADVERSARY_FAMILIES,
+    make_adversary,
+    resolve_adversary_family,
+)
 from ..core.algorithm import (
     DODAAlgorithm,
     KNOWLEDGE_FULL,
@@ -84,13 +89,16 @@ def default_horizon(algorithm: DODAAlgorithm, n: int, safety: float = 8.0) -> in
 
 def build_knowledge_for_random_run(
     algorithm: DODAAlgorithm,
-    adversary: RandomizedAdversary,
+    adversary: CommittedBlockAdversary,
     nodes: Sequence[NodeId],
     sink: NodeId,
     horizon: int,
 ) -> Tuple[Optional[KnowledgeBundle], Optional[InteractionSequence]]:
     """Assemble the oracles the algorithm needs on top of the adversary.
 
+    Works for any committed adversary (uniform, non-uniform, mobility):
+    ``meetTime`` queries go to the adversary's ``next_meeting`` and the
+    ``future``/``full_knowledge`` oracles replay its committed prefix.
     Returns the knowledge bundle (or None) and, when the algorithm requires
     a committed finite sequence (``future`` or ``full_knowledge``), the
     pre-drawn sequence the executor must replay instead of querying the
@@ -115,13 +123,34 @@ def build_knowledge_for_random_run(
         assert committed is not None
         oracles.append(FullKnowledge(committed))
     if KNOWLEDGE_UNDERLYING_GRAPH in required:
-        # Under the randomized adversary the footprint is the complete graph.
+        # Every named adversary family can eventually produce any pair
+        # (uniform/non-uniform draws, waypoint proximity, community mixture),
+        # so the footprint is the complete graph.
         from itertools import combinations
 
         oracles.append(
             UnderlyingGraphKnowledge(nodes, edges=list(combinations(nodes, 2)))
         )
     return KnowledgeBundle(*oracles), committed
+
+
+def build_trial_adversary(
+    adversary: str,
+    nodes: Sequence[NodeId],
+    seed: int,
+    horizon: int,
+    sink: NodeId,
+    adversary_params: Optional[Dict[str, Any]] = None,
+) -> CommittedBlockAdversary:
+    """The committed adversary of one trial, with the standard safety margin."""
+    return make_adversary(
+        adversary,
+        nodes,
+        seed=seed,
+        max_horizon=max(horizon * 2, horizon + 1024),
+        sink=sink,
+        params=adversary_params,
+    )
 
 
 def execute_random_trial(
@@ -131,13 +160,17 @@ def execute_random_trial(
     horizon: Optional[int] = None,
     sink: NodeId = 0,
     engine: str = "reference",
+    adversary: str = "uniform",
+    adversary_params: Optional[Dict[str, Any]] = None,
 ) -> Tuple[ExecutionResult, int]:
-    """Run one randomized-adversary trial and return the raw execution result.
+    """Run one committed-adversary trial and return the raw execution result.
 
     This is the differential-testing entry point: for a given ``(algorithm,
-    n, seed, horizon)`` the ``reference`` and ``fast`` engines must return
-    equal :class:`~repro.core.execution.ExecutionResult` objects, including
-    the transmission log.  Returns ``(result, horizon)``.
+    n, seed, horizon, adversary)`` the ``reference`` and ``fast`` engines
+    must return equal :class:`~repro.core.execution.ExecutionResult`
+    objects, including the transmission log.  ``adversary`` names a family
+    from :data:`repro.adversaries.factory.ADVERSARY_FAMILIES` (uniform,
+    zipf, hub, waypoint, community).  Returns ``(result, horizon)``.
     """
     executor_cls = resolve_engine(engine)
     nodes = list(range(n))
@@ -145,15 +178,17 @@ def execute_random_trial(
         raise ValueError("sink must be one of the nodes 0..n-1")
     if horizon is None:
         horizon = default_horizon(algorithm, n)
-    adversary = RandomizedAdversary(nodes, seed=seed, max_horizon=max(horizon * 2, horizon + 1024))
+    adversary_obj = build_trial_adversary(
+        adversary, nodes, seed, horizon, sink, adversary_params
+    )
     knowledge, committed = build_knowledge_for_random_run(
-        algorithm, adversary, nodes, sink, horizon
+        algorithm, adversary_obj, nodes, sink, horizon
     )
     executor = executor_cls(nodes, sink, algorithm, knowledge=knowledge)
     if committed is not None:
         result = executor.run(committed, max_interactions=horizon)
     else:
-        result = executor.run(adversary, max_interactions=horizon)
+        result = executor.run(adversary_obj, max_interactions=horizon)
     return result, horizon
 
 
@@ -165,8 +200,10 @@ def run_random_trial(
     sink: NodeId = 0,
     extra: Optional[Dict[str, Any]] = None,
     engine: str = "reference",
+    adversary: str = "uniform",
+    adversary_params: Optional[Dict[str, Any]] = None,
 ) -> TrialMetrics:
-    """Run one trial of ``algorithm`` against the randomized adversary.
+    """Run one trial of ``algorithm`` against a committed adversary.
 
     Args:
         algorithm: a fresh or reusable algorithm instance.
@@ -178,9 +215,13 @@ def run_random_trial(
         extra: extra key/values recorded in the metrics.
         engine: ``"reference"`` or ``"fast"``; both produce identical
             metrics, the fast engine just gets there sooner.
+        adversary: adversary family name (default the paper's uniform
+            randomized adversary).
+        adversary_params: family-specific parameter overrides.
     """
     result, horizon = execute_random_trial(
-        algorithm, n, seed, horizon=horizon, sink=sink, engine=engine
+        algorithm, n, seed, horizon=horizon, sink=sink, engine=engine,
+        adversary=adversary, adversary_params=adversary_params,
     )
     return TrialMetrics.from_result(
         result, n=n, seed=seed, algorithm=algorithm.name, horizon=horizon, extra=extra
@@ -255,8 +296,10 @@ def sweep_random_adversary(
     horizon_fn: Optional[Callable[[DODAAlgorithm, int], int]] = None,
     sink: NodeId = 0,
     engine: str = "reference",
+    adversary: str = "uniform",
+    adversary_params: Optional[Dict[str, Any]] = None,
 ) -> SweepResult:
-    """Run ``trials`` independent trials per ``n`` against the randomized adversary.
+    """Run ``trials`` independent trials per ``n`` against a committed adversary.
 
     Args:
         algorithm_factory: callable mapping ``n`` to a fresh algorithm
@@ -268,17 +311,23 @@ def sweep_random_adversary(
         horizon_fn: optional override of :func:`default_horizon`.
         sink: sink node identifier.
         engine: execution engine, ``"reference"`` or ``"fast"``.
+        adversary: adversary family name (uniform, zipf, hub, waypoint,
+            community); the default is the paper's uniform randomized
+            adversary.
+        adversary_params: family-specific parameter overrides.
 
     Raises:
-        ValueError: if ``ns`` is empty, ``trials < 1`` or ``engine`` is
-            unknown.
+        ValueError: if ``ns`` is empty, ``trials < 1``, ``engine`` or
+            ``adversary`` is unknown.
 
     For multi-process sweeps see
-    :func:`repro.sim.parallel.sweep_random_adversary`, which reproduces this
-    function's output bit for bit.
+    :func:`repro.sim.parallel.sweep_random_adversary`; for whole-cell
+    batched execution see :func:`repro.sim.batch.sweep_adversary_batched`.
+    Both reproduce this function's output bit for bit.
     """
     validate_sweep_parameters(ns, trials)
     resolve_engine(engine)
+    resolve_adversary_family(adversary)
     sample_algorithm = algorithm_factory(int(ns[0]))
     result = SweepResult(algorithm=sample_algorithm.name)
     for n in ns:
@@ -294,12 +343,37 @@ def sweep_random_adversary(
                     horizon_fn=horizon_fn,
                     sink=sink,
                     engine=engine,
+                    adversary=adversary,
+                    adversary_params=adversary_params,
                 )
             )
         result.points.append(
             SweepPoint(n=int(n), algorithm=result.algorithm, trials=metrics)
         )
     return result
+
+
+def derive_sweep_trial(
+    algorithm_factory: AlgorithmFactory,
+    n: int,
+    trial: int,
+    master_seed: int = 0,
+    experiment: str = "sweep",
+    horizon_fn: Optional[Callable[[DODAAlgorithm, int], int]] = None,
+) -> Tuple[DODAAlgorithm, int, int]:
+    """Derive one sweep trial's ``(algorithm, seed, horizon)``.
+
+    This derivation is the determinism contract of every sweep runner: the
+    serial, parallel and batched paths all call it for every task, which is
+    what makes ``workers > 1`` and whole-cell batching reproduce the serial
+    sweep exactly.
+    """
+    algorithm = algorithm_factory(n)
+    seed = derive_seed(master_seed, experiment, algorithm.name, n, trial)
+    horizon = (
+        horizon_fn(algorithm, n) if horizon_fn else default_horizon(algorithm, n)
+    )
+    return algorithm, seed, horizon
 
 
 def run_sweep_trial(
@@ -311,19 +385,17 @@ def run_sweep_trial(
     horizon_fn: Optional[Callable[[DODAAlgorithm, int], int]] = None,
     sink: NodeId = 0,
     engine: str = "reference",
+    adversary: str = "uniform",
+    adversary_params: Optional[Dict[str, Any]] = None,
 ) -> TrialMetrics:
-    """Run the single sweep trial ``(n, trial)`` with derived-seed determinism.
-
-    Both the serial and the parallel sweep runners call this for every task,
-    which is what makes ``workers > 1`` reproduce the serial sweep exactly.
-    """
-    algorithm = algorithm_factory(n)
-    seed = derive_seed(master_seed, experiment, algorithm.name, n, trial)
-    horizon = (
-        horizon_fn(algorithm, n) if horizon_fn else default_horizon(algorithm, n)
+    """Run the single sweep trial ``(n, trial)`` with derived-seed determinism."""
+    algorithm, seed, horizon = derive_sweep_trial(
+        algorithm_factory, n, trial, master_seed=master_seed,
+        experiment=experiment, horizon_fn=horizon_fn,
     )
     return run_random_trial(
-        algorithm, n, seed, horizon=horizon, sink=sink, engine=engine
+        algorithm, n, seed, horizon=horizon, sink=sink, engine=engine,
+        adversary=adversary, adversary_params=adversary_params,
     )
 
 

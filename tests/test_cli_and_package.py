@@ -61,3 +61,82 @@ class TestCLI:
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestSweepCLI:
+    """Smoke tests for the sweep subcommand and its engine/worker knobs."""
+
+    def test_sweep_default(self, capsys):
+        assert main(["sweep", "gathering", "--ns", "8,10", "--trials", "2"]) == 0
+        output = capsys.readouterr().out
+        assert "gathering: interactions to termination" in output
+        assert "| 8 |" in output and "| 10 |" in output
+
+    def test_sweep_fast_engine_matches_reference(self, capsys):
+        assert main(["sweep", "gathering", "--ns", "9", "--trials", "3"]) == 0
+        reference = capsys.readouterr().out
+        assert (
+            main(["sweep", "gathering", "--ns", "9", "--trials", "3",
+                  "--engine", "fast"]) == 0
+        )
+        assert capsys.readouterr().out == reference
+
+    def test_sweep_workers(self, capsys):
+        assert main(["sweep", "gathering", "--ns", "8", "--trials", "2"]) == 0
+        serial = capsys.readouterr().out
+        assert (
+            main(["sweep", "gathering", "--ns", "8", "--trials", "2",
+                  "--engine", "fast", "--workers", "2"]) == 0
+        )
+        assert capsys.readouterr().out == serial
+
+    def test_sweep_batched(self, capsys):
+        assert main(["sweep", "gathering", "--ns", "8", "--trials", "2"]) == 0
+        serial = capsys.readouterr().out
+        assert (
+            main(["sweep", "gathering", "--ns", "8", "--trials", "2",
+                  "--engine", "fast", "--batched"]) == 0
+        )
+        assert capsys.readouterr().out == serial
+
+    def test_sweep_mobility_adversary(self, capsys):
+        assert (
+            main(["sweep", "waiting", "--ns", "8", "--trials", "2",
+                  "--adversary", "community", "--engine", "fast"]) == 0
+        )
+        assert "waiting" in capsys.readouterr().out
+
+    def test_sweep_writes_output_file(self, tmp_path):
+        target = tmp_path / "sweep.md"
+        assert (
+            main(["sweep", "gathering", "--ns", "8", "--trials", "2",
+                  "--output", str(target)]) == 0
+        )
+        assert "interactions to termination" in target.read_text()
+
+    def test_sweep_rejects_bad_arguments(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "gathering", "--ns", "not-numbers"])
+        with pytest.raises(SystemExit):
+            main(["sweep", "gathering", "--ns", ""])
+        with pytest.raises(SystemExit):
+            main(["sweep", "gathering", "--ns", "8", "--trials", "0"])
+        with pytest.raises(SystemExit):
+            main(["sweep", "gathering", "--ns", "8", "--workers", "0"])
+        with pytest.raises(SystemExit):
+            main(["sweep", "no_such_algorithm", "--ns", "8"])
+        with pytest.raises(SystemExit):
+            main(["sweep", "gathering", "--ns", "8",
+                  "--adversary", "rush_hour"])
+
+    def test_trial_engine_flag(self, capsys):
+        assert main(["trial", "gathering", "--n", "10", "--seed", "2",
+                     "--engine", "fast"]) == 0
+        fast = capsys.readouterr().out
+        assert main(["trial", "gathering", "--n", "10", "--seed", "2"]) == 0
+        assert capsys.readouterr().out == fast
+
+    def test_trial_adversary_flag(self, capsys):
+        assert main(["trial", "gathering", "--n", "12", "--seed", "1",
+                     "--adversary", "waypoint"]) == 0
+        assert "adversary=waypoint" in capsys.readouterr().out

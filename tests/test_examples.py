@@ -1,0 +1,69 @@
+"""Executed smoke tests for the example scripts.
+
+Every ``examples/*.py`` is run as a real subprocess (small-``n`` fast mode)
+so the examples cannot silently rot when the package surface changes: an
+import error, a renamed symbol, or a crashed scenario fails the suite, not
+the first user who copies the example.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+EXAMPLES_DIR = REPO_ROOT / "examples"
+
+#: script name -> (small/fast CLI arguments, required output fragments).
+EXAMPLES = {
+    "quickstart.py": (
+        ["--n", "14", "--seed", "2"],
+        ["cost"],
+    ),
+    "adversary_showdown.py": (
+        ["--horizon", "300"],
+        ["Theorem 1", "Theorem 2", "Theorem 3", "terminated="],
+    ),
+    "vehicular_dtn.py": (
+        ["--vehicles", "8", "--grid", "4", "--steps", "250", "--seed", "9"],
+        ["Vehicular contact trace", "algorithm"],
+    ),
+    "body_area_network.py": (
+        ["--sensors", "5", "--cycles", "12", "--seed", "3"],
+        ["Body-area network trace", "feasible"],
+    ),
+}
+
+
+def run_example(name: str, arguments):
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name), *arguments],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=120,
+    )
+
+
+def test_every_example_is_smoke_tested():
+    """A new example must be added to the EXAMPLES table above."""
+    on_disk = {path.name for path in EXAMPLES_DIR.glob("*.py")}
+    assert on_disk == set(EXAMPLES)
+
+
+@pytest.mark.parametrize("name", sorted(EXAMPLES))
+def test_example_runs(name):
+    arguments, fragments = EXAMPLES[name]
+    completed = run_example(name, arguments)
+    assert completed.returncode == 0, (
+        f"{name} exited with {completed.returncode}:\n{completed.stderr}"
+    )
+    for fragment in fragments:
+        assert fragment in completed.stdout, (
+            f"{name} output is missing {fragment!r}:\n{completed.stdout}"
+        )

@@ -33,9 +33,9 @@ TRIALS = 8
 
 
 class TestRegistry:
-    def test_all_twenty_experiments_registered(self):
-        assert len(EXPERIMENTS) == 20
-        assert set(EXPERIMENTS) == {f"E{i}" for i in range(1, 21)}
+    def test_all_experiments_registered(self):
+        assert len(EXPERIMENTS) == 22
+        assert set(EXPERIMENTS) == {f"E{i}" for i in range(1, 23)}
 
     def test_run_experiment_unknown_id(self):
         with pytest.raises(KeyError):
