@@ -13,6 +13,8 @@ saved benchmark JSON as well.
 from __future__ import annotations
 
 import json
+import os
+import platform
 from pathlib import Path
 from typing import Callable, Dict
 
@@ -22,6 +24,100 @@ from repro.sim.results import ExperimentReport
 
 #: Directory holding the ``BENCH_*.json`` trajectory files.
 BENCH_DIR = Path(__file__).resolve().parent
+
+#: Canonical schema of every record in the ``engine`` trajectory
+#: (``BENCH_engine.json``): one engine measured against one baseline on one
+#: sweep.  ``seconds``/``baseline_seconds`` are best-of-rounds wall clocks;
+#: ``speedup`` is their ratio.
+ENGINE_SCHEMA_KEYS = (
+    "engine",
+    "baseline",
+    "adversary",
+    "algorithms",
+    "n",
+    "trials",
+    "seconds",
+    "baseline_seconds",
+    "speedup",
+)
+
+
+def machine_fingerprint() -> str:
+    """A coarse, stable identifier of the measuring machine class.
+
+    Speedup *ratios* travel across machines far better than absolute
+    timings, but not perfectly — so the perf-regression gate
+    (``perf_gate.py``) applies its strict tolerance only between records
+    carrying the same fingerprint.  Architecture + logical core count is
+    stable across runs of the same CI runner class while separating a
+    laptop from a 2-core hosted runner.
+    """
+    return f"{platform.machine()}-{os.cpu_count()}cpu"
+
+
+def normalize_engine_record(record: Dict) -> Dict:
+    """Map any historical engine-trajectory record shape onto the schema.
+
+    Three shapes exist in the wild: the original fast-vs-reference rows
+    (``fast_seconds``/``reference_seconds``), the mobility batched rows
+    (``kind == "mobility_batched"``, ``batched_fast_seconds``, a list of
+    ``adversaries``), and already-normalized rows (passed through, with the
+    key order canonicalised).  Raises ValueError on anything else, so a new
+    shape cannot silently creep into the trajectory again.
+    """
+    if set(ENGINE_SCHEMA_KEYS) <= set(record):
+        normalized = {key: record[key] for key in ENGINE_SCHEMA_KEYS}
+    elif "fast_seconds" in record and "reference_seconds" in record:
+        normalized = {
+            "engine": "fast",
+            "baseline": "reference",
+            "adversary": record.get("adversary", "uniform"),
+            "algorithms": list(record["algorithms"]),
+            "n": record["n"],
+            "trials": record["trials"],
+            "seconds": record["fast_seconds"],
+            "baseline_seconds": record["reference_seconds"],
+            "speedup": record["speedup"],
+        }
+    elif record.get("kind") == "mobility_batched":
+        normalized = {
+            "engine": "fast_batched",
+            "baseline": "reference",
+            "adversary": "+".join(record["adversaries"]),
+            "algorithms": [record["algorithm"]],
+            "n": record["n"],
+            "trials": record["trials"],
+            "seconds": record["batched_fast_seconds"],
+            "baseline_seconds": record["reference_seconds"],
+            "speedup": record["speedup"],
+        }
+    else:
+        raise ValueError(
+            f"unrecognised engine benchmark record shape: {sorted(record)}"
+        )
+    # Optional provenance key: preserved when present (historical records
+    # predate it), stamped by record_bench_trajectory on new records.
+    if "host" in record:
+        normalized["host"] = record["host"]
+    return normalized
+
+
+def migrate_engine_trajectory(path: Path = None) -> Path:
+    """Rewrite ``BENCH_engine.json`` in place onto the canonical schema.
+
+    Idempotent: already-normalized trajectories are rewritten unchanged.
+    Returns the path written.
+    """
+    path = path or BENCH_DIR / "BENCH_engine.json"
+    trajectory = json.loads(path.read_text(encoding="utf-8"))
+    if not isinstance(trajectory, list):
+        trajectory = [trajectory]
+    normalized = [normalize_engine_record(record) for record in trajectory]
+    path.write_text(
+        json.dumps(normalized, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    return path
 
 
 def run_experiment_benchmark(
@@ -46,9 +142,14 @@ def record_bench_trajectory(name: str, record: Dict) -> Path:
 
     Each trajectory file is a JSON list; every benchmark run appends one
     record, so successive runs build a wall-clock history (e.g. the
-    reference-vs-fast engine timings) that can be compared across commits.
-    Returns the path written.
+    engine-vs-baseline timings) that can be compared across commits.
+    Records of the ``engine`` trajectory are normalized onto
+    :data:`ENGINE_SCHEMA_KEYS` before being appended, so the file stays on
+    one schema from now on.  Returns the path written.
     """
+    if name == "engine":
+        record = normalize_engine_record(record)
+        record.setdefault("host", machine_fingerprint())
     path = BENCH_DIR / f"BENCH_{name}.json"
     if path.exists():
         trajectory = json.loads(path.read_text(encoding="utf-8"))

@@ -1,0 +1,173 @@
+"""CI perf-regression gate for the trial-vectorized engine.
+
+Compares the **latest** vectorized-vs-reference record of the
+``BENCH_engine.json`` trajectory — in CI that is the record the preceding
+``pytest benchmarks`` step appended moments earlier, on the same machine —
+against the best *prior* records, and fails (exit code 1) on a regression.
+Reading the fresh record instead of re-measuring keeps the gate free and
+avoids double-running the most expensive benchmark of the job.
+
+Speedups are wall-clock *ratios*, far more hardware-portable than absolute
+timings — but not perfectly so: a committed development-machine record can
+legitimately sit above what a loaded 2-core CI runner measures.  The gate
+therefore applies two tolerances:
+
+* **same machine class** (matching ``host`` fingerprint, see
+  :func:`bench_utils.machine_fingerprint`): the measured speedup must stay
+  within 30% of the best prior record — the tight ratchet the trajectory
+  is for.  It engages wherever records accumulate from the same machine
+  class: locally against the committed trajectory, and on CI only when a
+  committed record's host matches the runner class (ephemeral runners do
+  not commit their own records back);
+* **any machine**: the measured speedup must stay within 60% of the best
+  prior record anywhere — a catastrophic-regression guard that still
+  catches an engine collapse (e.g. 32x -> 8x) without flaking on hardware
+  spread.  This floor is additionally capped at the benchmark suite's own
+  CI-safe hard floor (``MIN_VECTORIZED_VS_REFERENCE``), so a machine the
+  suite considers healthy can never fail the gate.
+
+When the trajectory holds no vectorized record at all (fresh clone, or
+after trimming stray records), the gate measures once via
+``test_bench_engine.measure_vectorized_engine``, **appends** the result as
+the trajectory's first vectorized record, and passes — so the very next
+run has something to guard against.  ``--measure`` forces that path.
+
+Run from the repository root::
+
+    PYTHONPATH=src:benchmarks python benchmarks/perf_gate.py
+
+The gate is wired into the CI ``benchmarks`` job (``.github/workflows/
+ci.yml``) directly after the benchmark run.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+BENCH_DIR = Path(__file__).resolve().parent
+sys.path.insert(0, str(BENCH_DIR))
+
+#: Tolerated drop below the best prior record from the same machine class.
+SAME_HOST_TOLERANCE = 0.30
+#: Tolerated drop below the best prior record from any machine.
+CROSS_HOST_TOLERANCE = 0.60
+
+
+def vectorized_records() -> list:
+    """All vectorized-vs-reference records, in trajectory order."""
+    path = BENCH_DIR / "BENCH_engine.json"
+    if not path.exists():
+        return []
+    trajectory = json.loads(path.read_text(encoding="utf-8"))
+    return [
+        record
+        for record in trajectory
+        if record.get("engine") == "vectorized"
+        and record.get("baseline") == "reference"
+    ]
+
+
+def measure_and_record() -> dict:
+    """Measure once, append the record to the trajectory, return it."""
+    from bench_utils import record_bench_trajectory
+    from test_bench_engine import (
+        BENCH_N,
+        BENCH_TRIALS,
+        VECTOR_FACTORIES,
+        measure_vectorized_engine,
+    )
+
+    reference_seconds, fast_seconds, vectorized_seconds = (
+        measure_vectorized_engine()
+    )
+    speedup = reference_seconds / vectorized_seconds
+    record = {
+        "engine": "vectorized",
+        "baseline": "reference",
+        "adversary": "uniform",
+        "algorithms": sorted(VECTOR_FACTORIES),
+        "n": BENCH_N,
+        "trials": BENCH_TRIALS,
+        "seconds": round(vectorized_seconds, 6),
+        "baseline_seconds": round(reference_seconds, 6),
+        "speedup": round(speedup, 3),
+    }
+    record_bench_trajectory("engine", record)
+    print(
+        f"measured (n={BENCH_N}, trials={BENCH_TRIALS}): reference "
+        f"{reference_seconds:.3f}s, fast {fast_seconds:.3f}s, vectorized "
+        f"{vectorized_seconds:.3f}s -> {speedup:.1f}x vs reference "
+        "(recorded)"
+    )
+    return record
+
+
+def check(measured: dict, prior: list) -> int:
+    """Apply the two-tier regression rule; return the process exit code."""
+    from bench_utils import machine_fingerprint
+
+    speedup = measured["speedup"]
+    host = measured.get("host", machine_fingerprint())
+    failed = False
+    same_host = [r["speedup"] for r in prior if r.get("host") == host]
+    if same_host:
+        floor = (1.0 - SAME_HOST_TOLERANCE) * max(same_host)
+        print(
+            f"same-host best {max(same_host):.1f}x, floor {floor:.1f}x "
+            f"({SAME_HOST_TOLERANCE:.0%} tolerance)"
+        )
+        if speedup < floor:
+            print(
+                f"FAIL: {speedup:.1f}x dropped more than "
+                f"{SAME_HOST_TOLERANCE:.0%} below the same-host best"
+            )
+            failed = True
+    from test_bench_engine import MIN_VECTORIZED_VS_REFERENCE
+
+    any_host = [r["speedup"] for r in prior]
+    # The cross-host floor never exceeds the benchmark suite's own CI-safe
+    # hard floor: a machine the suite considers healthy must pass the gate.
+    floor = min(
+        (1.0 - CROSS_HOST_TOLERANCE) * max(any_host),
+        MIN_VECTORIZED_VS_REFERENCE,
+    )
+    print(
+        f"all-host best {max(any_host):.1f}x, catastrophic floor "
+        f"{floor:.1f}x ({CROSS_HOST_TOLERANCE:.0%} tolerance, capped at the "
+        f"suite floor {MIN_VECTORIZED_VS_REFERENCE:.0f}x)"
+    )
+    if speedup < floor:
+        print(
+            f"FAIL: {speedup:.1f}x dropped more than "
+            f"{CROSS_HOST_TOLERANCE:.0%} below the best recorded anywhere"
+        )
+        failed = True
+    if failed:
+        return 1
+    print("PASS")
+    return 0
+
+
+def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    records = vectorized_records()
+    if "--measure" in argv or not records:
+        measured = measure_and_record()
+        prior = records
+    else:
+        measured = records[-1]
+        prior = records[:-1]
+        print(
+            f"latest recorded vectorized speedup: "
+            f"{measured['speedup']:.1f}x vs reference"
+        )
+    if not prior:
+        print("no prior vectorized record to compare against; gate passes (bootstrap)")
+        return 0
+    return check(measured, prior)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

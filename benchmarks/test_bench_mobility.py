@@ -90,13 +90,14 @@ def test_batched_mobility_sweep_speedup_and_equality(benchmark):
     record_bench_trajectory(
         "engine",
         {
-            "kind": "mobility_batched",
+            "engine": "fast_batched",
+            "baseline": "reference",
+            "adversary": "+".join(FAMILIES),
+            "algorithms": ["waiting"],
             "n": BENCH_N,
             "trials": BENCH_TRIALS,
-            "adversaries": list(FAMILIES),
-            "algorithm": "waiting",
-            "reference_seconds": round(reference_seconds, 6),
-            "batched_fast_seconds": round(batched_seconds, 6),
+            "seconds": round(batched_seconds, 6),
+            "baseline_seconds": round(reference_seconds, 6),
             "speedup": round(speedup, 3),
         },
     )

@@ -42,7 +42,12 @@ from .base import Adversary
 #: Committed draws are extended in fixed chunks of this many interactions so
 #: that the RNG stream is consumed identically regardless of the query
 #: pattern (chunk boundaries never depend on *which* query forced growth).
-COMMIT_CHUNK = 4096
+#: The chunk is sized by the engine micro-benchmarks: large enough to
+#: amortise per-chunk sampling overhead on long horizons (the n >= 100
+#: sweeps draw hundreds of thousands of pairs), small enough that
+#: oracle-driven scans (Waiting Greedy's meet tables) do not over-draw;
+#: ``max_horizon`` still caps the waste on short runs.
+COMMIT_CHUNK = 8192
 
 
 class CommittedBlockAdversary(Adversary):
@@ -75,7 +80,12 @@ class CommittedBlockAdversary(Adversary):
         self._exhausted = False
         self._pi = np.empty(0, dtype=np.int64)
         self._pj = np.empty(0, dtype=np.int64)
+        # Canonical pair codes are derived data used only by the per-pair
+        # meeting index (``next_meeting``); they are computed lazily up to
+        # ``_codes_size`` so block consumers that never query meetings (the
+        # trial-vectorized engine) skip the work entirely.
         self._codes = np.empty(0, dtype=np.int64)
+        self._codes_size = 0
         # Per-pair sorted list of meeting times, built lazily per queried
         # pair; the watermark records how much of the committed prefix the
         # pair's list already covers.
@@ -132,12 +142,10 @@ class CommittedBlockAdversary(Adversary):
         if count == 0:
             empty = np.empty(0, dtype=np.int64)
             return empty, empty
-        n = len(self._nodes)
         self._grow(count)
         start, stop = self._size, self._size + count
         self._pi[start:stop] = i
         self._pj[start:stop] = j
-        self._codes[start:stop] = np.minimum(i, j) * n + np.maximum(i, j)
         self._size = stop
         return i, j
 
@@ -147,11 +155,26 @@ class CommittedBlockAdversary(Adversary):
         if needed <= self._pi.shape[0]:
             return
         capacity = max(needed, 2 * self._pi.shape[0], COMMIT_CHUNK)
-        for name in ("_pi", "_pj", "_codes"):
+        for name in ("_pi", "_pj"):
             old = getattr(self, name)
             new = np.empty(capacity, dtype=np.int64)
             new[: self._size] = old[: self._size]
             setattr(self, name, new)
+
+    def _codes_upto(self, stop: int) -> None:
+        """Materialise canonical pair codes for the committed prefix."""
+        if stop <= self._codes_size:
+            return
+        if self._codes.shape[0] < self._pi.shape[0]:
+            grown = np.empty(self._pi.shape[0], dtype=np.int64)
+            grown[: self._codes_size] = self._codes[: self._codes_size]
+            self._codes = grown
+        start = self._codes_size
+        i = self._pi[start:stop]
+        j = self._pj[start:stop]
+        n = len(self._nodes)
+        self._codes[start:stop] = np.minimum(i, j) * n + np.maximum(i, j)
+        self._codes_size = stop
 
     def ensure_committed(self, length: int) -> None:
         """Extend the committed sequence to at least ``length`` interactions.
@@ -162,6 +185,10 @@ class CommittedBlockAdversary(Adversary):
         """
         if length > self._max_horizon:
             length = self._max_horizon
+        if length > self._size:
+            # One allocation for the whole extension instead of a doubling
+            # reallocation per chunk.
+            self._grow(length - self._size)
         while self._size < length and not self._exhausted:
             self.draw_block(COMMIT_CHUNK)
 
@@ -213,6 +240,63 @@ class CommittedBlockAdversary(Adversary):
             return empty, empty
         return self._pi[start:stop], self._pj[start:stop]
 
+    @classmethod
+    def committed_index_matrix(
+        cls,
+        adversaries: Sequence["CommittedBlockAdversary"],
+        start: int,
+        stop,
+        pad: int = -1,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Stack one committed block per adversary into ``(B, L)`` matrices.
+
+        The trial-vectorized engine consumes a whole sweep cell of ``B``
+        committed futures at once; this assembles, for the shared window
+        starting at ``start``, the dense node-index matrices ``I`` and ``J``
+        (one row per adversary) plus the per-row committed lengths.
+
+        Args:
+            adversaries: the cell's committed adversaries (or any objects
+                implementing ``committed_index_block``), one per trial row.
+            start: first interaction time of the window.
+            stop: exclusive end of the window — an ``int`` shared by every
+                row, or a per-row sequence (rows with ``stop <= start``
+                contribute an empty row).
+            pad: fill value for rows shorter than the widest (default -1,
+                which no dense node index ever takes).
+
+        Returns:
+            ``(I, J, lengths)`` where ``I``/``J`` have shape ``(B, L)`` with
+            ``L`` the widest row (0 when every row is empty) and
+            ``lengths[b]`` is row ``b``'s committed count; entries beyond a
+            row's length hold ``pad``.  A row shorter than requested means
+            that adversary's committed future is exhausted (finite trace or
+            ``max_horizon``).
+        """
+        count = len(adversaries)
+        if isinstance(stop, (int, np.integer)):
+            stops = [int(stop)] * count
+        else:
+            stops = [int(value) for value in stop]
+            if len(stops) != count:
+                raise ConfigurationError(
+                    f"got {len(stops)} stops for {count} adversaries"
+                )
+        blocks = [
+            adversary.committed_index_block(start, row_stop)
+            if row_stop > start
+            else (np.empty(0, dtype=np.int64),) * 2
+            for adversary, row_stop in zip(adversaries, stops)
+        ]
+        lengths = np.array([i.shape[0] for i, _ in blocks], dtype=np.int64)
+        width = int(lengths.max()) if count else 0
+        matrix_i = np.full((count, width), pad, dtype=np.int64)
+        matrix_j = np.full((count, width), pad, dtype=np.int64)
+        for row, (i, j) in enumerate(blocks):
+            matrix_i[row, : i.shape[0]] = i
+            matrix_j[row, : j.shape[0]] = j
+        return matrix_i, matrix_j, lengths
+
     # ------------------------------------------------------------------ #
     # InteractionProvider protocol
     # ------------------------------------------------------------------ #
@@ -245,6 +329,7 @@ class CommittedBlockAdversary(Adversary):
         else:
             scanned = self._meeting_watermark.get(code, 0)
         if scanned < self._size:
+            self._codes_upto(self._size)
             hits = np.nonzero(self._codes[scanned : self._size] == code)[0]
             if hits.size:
                 times.extend((hits + scanned).tolist())

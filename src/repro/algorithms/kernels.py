@@ -1,0 +1,520 @@
+"""Vectorized decision kernels: array-form twins of registered algorithms.
+
+The trial-vectorized engine (:class:`~repro.core.vector_execution.
+VectorizedExecutor`) does not call ``algorithm.decide`` once per
+interaction.  Instead, each supported algorithm registers a **decision
+kernel**: a pure-array function that, given dense index arrays ``(iu, iv)``
+(canonically ordered, lower rank first) and the interaction times ``t``,
+returns a *direction* per interaction:
+
+* :data:`FIRST_RECEIVES` (0) — the canonically-first node receives,
+* :data:`SECOND_RECEIVES` (1) — the canonically-second node receives,
+* :data:`NO_TRANSMISSION` (-1) — the algorithm abstains.
+
+Two kernel flavours exist:
+
+* **vectorized** kernels (``vectorized = True``) are pure functions of the
+  interaction and per-trial precomputed tables; the engine evaluates them on
+  whole candidate blocks with one numpy call (``decide_block``).
+* **sequential** kernels (``vectorized = False``) consume per-decision
+  state — the randomized baselines draw from their ``random.Random`` stream
+  once per decision, exactly like their object form.  The engine calls
+  ``decide_one`` scalar-by-scalar on exactly the interactions whose
+  endpoints both own data at execution time, in time order, so the RNG
+  stream (and therefore the run) is identical to the reference engine's,
+  seed for seed.
+
+A kernel validates its preconditions in :meth:`DecisionKernel.prepare` and
+raises :class:`KernelUnsupported` when the trial's source or knowledge shape
+is not one it can reproduce **exactly**; the engine then falls back to
+:class:`~repro.core.fast_execution.FastExecutor` for that trial.  Equality
+with the object form is enforced by the differential tests in
+``tests/test_vector_execution.py`` across every committed adversary family.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.algorithm import DODAAlgorithm, KNOWLEDGE_MEET_TIME
+
+__all__ = [
+    "NO_TRANSMISSION",
+    "FIRST_RECEIVES",
+    "SECOND_RECEIVES",
+    "DecisionKernel",
+    "KernelUnsupported",
+    "KERNELS",
+    "get_kernel",
+    "register_kernel",
+]
+
+#: Direction codes returned by decision kernels.
+NO_TRANSMISSION = -1
+FIRST_RECEIVES = 0
+SECOND_RECEIVES = 1
+#: A vectorized kernel may return this for interactions it chose not to
+#: decide yet; the engine calls :meth:`DecisionKernel.resolve_one` when (and
+#: only when) such a candidate turns out to be live at execution time.
+#: Deferral is exactness-preserving — a resolved decision is a pure function
+#: of the committed future — and is what keeps oracle-backed kernels from
+#: scanning the future for interactions the reference engine never queries.
+PENDING = -2
+
+
+class KernelUnsupported(Exception):
+    """This kernel cannot exactly reproduce the trial; fall back.
+
+    Raised by :meth:`DecisionKernel.prepare` when the interaction source or
+    the knowledge bundle is not of a shape the kernel can mirror exactly
+    (e.g. a ``meetTime`` oracle whose backing source is not the trial's
+    committed adversary).  The vectorized engine treats it as a routing
+    signal, never as an error.
+    """
+
+
+class DecisionKernel:
+    """Base class for array-form decision kernels.
+
+    Subclasses set ``algorithm_name`` (the registered algorithm they mirror)
+    and ``vectorized``, and implement :meth:`prepare` plus
+    :meth:`decide_block` (vectorized) or :meth:`decide_one` (sequential).
+    """
+
+    algorithm_name: str = "abstract"
+    vectorized: bool = True
+    #: Sparse kernels have a rare non-abstain set and an ownership-free,
+    #: order-insensitive pure decision (e.g. Waiting's sink-only rule).
+    #: The engine then runs ``decide_block`` on the raw draw order over the
+    #: whole block — direction 0 names the ``iu`` argument positionally —
+    #: and skips the block-level ownership mask entirely, leaving the
+    #: ownership guard to the walk's scalar re-check.
+    sparse: bool = False
+
+    def prepare(
+        self,
+        algorithm: DODAAlgorithm,
+        source: Any,
+        knowledge: Any,
+        horizon: int,
+        n: int,
+        sink_index: int,
+        translate: Optional[np.ndarray] = None,
+        sink_node: Any = None,
+    ) -> Any:
+        """Build the per-trial kernel state (tables, parameters, RNG refs).
+
+        Raises:
+            KernelUnsupported: when the trial cannot be reproduced exactly.
+        """
+        raise NotImplementedError
+
+    def decide_block(
+        self, state: Any, iu: np.ndarray, iv: np.ndarray, t: np.ndarray
+    ) -> np.ndarray:
+        """Directions for a block of interactions (vectorized kernels).
+
+        ``iu``/``iv`` are dense node indices in canonical order (``iu`` has
+        the lower identifier rank); ``t`` the interaction times.  Must be a
+        pure function of its inputs and ``state``'s precomputed tables.
+        """
+        raise NotImplementedError
+
+    def decide_one(self, state: Any, iu: int, iv: int, t: int) -> int:
+        """Direction for one interaction (sequential kernels).
+
+        Called on exactly the interactions whose endpoints both own data at
+        execution time, in time order — the same call sites, in the same
+        order, as the object algorithm's ``decide`` under the reference
+        engine, so stateful kernels (RNG streams) stay seed-for-seed equal.
+        """
+        raise NotImplementedError
+
+    def resolve_one(self, state: Any, iu: int, iv: int, t: int) -> int:
+        """Late-resolve one :data:`PENDING` decision (vectorized kernels)."""
+        raise NotImplementedError
+
+
+#: algorithm name -> kernel instance.
+KERNELS: Dict[str, DecisionKernel] = {}
+
+
+def register_kernel(kernel_cls: type) -> type:
+    """Register a kernel class under its ``algorithm_name`` (decorator)."""
+    kernel = kernel_cls()
+    KERNELS[kernel.algorithm_name] = kernel
+    return kernel_cls
+
+
+def get_kernel(algorithm_name: str) -> Optional[DecisionKernel]:
+    """The decision kernel mirroring ``algorithm_name``, or None."""
+    return KERNELS.get(algorithm_name)
+
+
+# --------------------------------------------------------------------- #
+# Oblivious knowledge-free kernels
+# --------------------------------------------------------------------- #
+class _SinkState:
+    """Shared state shape for the knowledge-free kernels."""
+
+    __slots__ = ("sink_index",)
+
+    def __init__(self, sink_index: int) -> None:
+        self.sink_index = sink_index
+
+
+@register_kernel
+class GatheringKernel(DecisionKernel):
+    """Array form of :class:`~repro.algorithms.gathering.Gathering`."""
+
+    algorithm_name = "gathering"
+    vectorized = True
+
+    def prepare(self, algorithm, source, knowledge, horizon, n, sink_index,
+                translate=None, sink_node=None):
+        return _SinkState(sink_index)
+
+    def decide_block(self, state, iu, iv, t):
+        # Receiver defaults to the first (lower-identifier) node; the sink
+        # receives whenever it is part of the interaction.
+        dirs = np.full(iu.shape[0], FIRST_RECEIVES, dtype=np.int8)
+        dirs[iv == state.sink_index] = SECOND_RECEIVES
+        return dirs
+
+
+@register_kernel
+class WaitingKernel(DecisionKernel):
+    """Array form of :class:`~repro.algorithms.waiting.Waiting`.
+
+    Declared ``sparse``: only the ~2/n sink-involving interactions can ever
+    transmit and the rule is ownership-free and order-insensitive (the
+    receiver is the sink, whichever side it is on), so the engine feeds the
+    raw draw order and skips the block-level ownership mask.
+    """
+
+    algorithm_name = "waiting"
+    vectorized = True
+    sparse = True
+
+    def prepare(self, algorithm, source, knowledge, horizon, n, sink_index,
+                translate=None, sink_node=None):
+        return _SinkState(sink_index)
+
+    def decide_block(self, state, iu, iv, t):
+        dirs = np.full(iu.shape[0], NO_TRANSMISSION, dtype=np.int8)
+        dirs[iu == state.sink_index] = FIRST_RECEIVES
+        dirs[iv == state.sink_index] = SECOND_RECEIVES
+        return dirs
+
+
+# --------------------------------------------------------------------- #
+# meetTime-based kernel (Waiting Greedy)
+# --------------------------------------------------------------------- #
+class SinkMeetTable:
+    """Lazily extended next-sink-meeting lookup over a committed future.
+
+    Mirrors :class:`~repro.knowledge.meet_time.MeetTimeKnowledge` backed by
+    a committed-block adversary with ``strict=False``: a *known*
+    :meth:`lookup` answer is, per ``(node, t)`` pair, the smallest committed
+    meeting time with the sink strictly greater than ``t``, or
+    ``horizon + 1`` when there is none at or below ``horizon`` (the
+    oracle's "never within the horizon" sentinel).  The committed future is
+    scanned in growing prefixes — the scan extends (chunk-aligned, so the
+    committed draws are untouched by the access pattern) only as far as the
+    decisions actually require.
+
+    All indices are in the *executor's* dense node order; ``translate`` maps
+    the adversary's dense indices onto it when the orders differ.
+    """
+
+    def __init__(
+        self,
+        adversary: Any,
+        sink_index: int,
+        horizon: int,
+        translate: Optional[np.ndarray] = None,
+        gap: int = 4096,
+    ) -> None:
+        self._adversary = adversary
+        self._sink = sink_index
+        self._horizon = horizon
+        self._translate = translate
+        # Expected committed distance between two meetings of a fixed pair;
+        # the scan extends by at least this much per resolution round so the
+        # amortised cost per unresolved query stays O(1).
+        self._gap = max(4096, int(gap))
+        self._covered = 0  # committed prefix scanned so far
+        self._complete = False  # no meetings can exist beyond _covered
+        self._partners: List[np.ndarray] = []
+        self._times: List[np.ndarray] = []
+        # Flat (node, time) meeting list sorted by node then time, encoded
+        # as keys node * stride + time for one-searchsorted-per-block
+        # lookups.
+        self._stride = horizon + 2
+        self._keys = np.empty(0, dtype=np.int64)
+        self._flat_nodes = np.empty(0, dtype=np.int64)
+        self._flat_times = np.empty(0, dtype=np.int64)
+        # Plain-list copies for the scalar lookup path (python bisect beats
+        # numpy searchsorted by an order of magnitude on single keys).
+        self._keys_list: List[int] = []
+        self._flat_times_list: List[int] = []
+
+    # ------------------------------------------------------------------ #
+    def _extend(self, target: int) -> None:
+        """Scan the committed future up to ``target`` interactions."""
+        target = min(target, self._horizon + 1)
+        if self._complete or target <= self._covered:
+            return
+        requested = target - self._covered
+        i, j = self._adversary.committed_index_block(self._covered, target)
+        count = i.shape[0]
+        if self._translate is not None and count:
+            i = self._translate[i]
+            j = self._translate[j]
+        hit = (i == self._sink) | (j == self._sink)
+        if hit.any():
+            offsets = np.nonzero(hit)[0]
+            self._partners.append((i[offsets] + j[offsets]) - self._sink)
+            self._times.append(offsets + self._covered)
+            partners = np.concatenate(self._partners)
+            times = np.concatenate(self._times)
+            order = np.argsort(partners, kind="stable")
+            self._flat_nodes = partners[order]
+            self._flat_times = times[order]
+            self._keys = self._flat_nodes * self._stride + self._flat_times
+            self._keys_list = self._keys.tolist()
+            self._flat_times_list = self._flat_times.tolist()
+        self._covered += count
+        if count < requested or self._covered >= self._horizon + 1:
+            # Short block: the committed future is exhausted (finite trace
+            # or max_horizon cap) — or the scan reached the sentinel bound.
+            self._complete = True
+
+    # ------------------------------------------------------------------ #
+    def ensure_scanned(self, length: int) -> None:
+        """Guarantee the scan covers at least ``length`` interactions."""
+        while self._covered < min(length, self._horizon + 1) and not self._complete:
+            self._extend(
+                max(
+                    self._covered + self._gap,
+                    self._covered * 3 // 2,
+                    length,
+                )
+            )
+
+    def extend_round(self) -> bool:
+        """One more scan round (at least one expected inter-meeting gap).
+
+        Returns False when the scan cannot make further progress (the
+        committed future is exhausted or the sentinel bound was reached).
+        """
+        if self._complete:
+            return False
+        self._extend(max(self._covered + self._gap, self._covered * 3 // 2))
+        return True
+
+    @property
+    def covered(self) -> int:
+        """How much of the committed future the scan has consumed."""
+        return self._covered
+
+    def lookup(self, nodes: np.ndarray, t: np.ndarray):
+        """Per pair ``(node, t)``: next sink meeting, if currently decidable.
+
+        Returns ``(values, known)``: where ``known`` is True the value is
+        final — either the exact next meeting time (a found meeting inside
+        the scanned prefix is always the global next one) or the
+        ``horizon + 1`` sentinel (the scan is complete and found nothing).
+        Where ``known`` is False, all that is certain is that the node's
+        next sink meeting is strictly beyond the scanned prefix
+        (``> covered - 1``).  Nodes equal to the sink get the identity
+        ``meetTime`` (``t``), always known.
+        """
+        count = nodes.shape[0]
+        values = np.full(count, self._horizon + 1, dtype=np.int64)
+        sink_rows = nodes == self._sink
+        if self._keys.shape[0]:
+            keys = nodes * self._stride + t
+            idx = np.searchsorted(self._keys, keys, side="right")
+            found = idx < self._keys.shape[0]
+            safe = np.where(found, idx, 0)
+            found &= self._flat_nodes[safe] == nodes
+            values[found] = self._flat_times[safe[found]]
+        else:
+            found = np.zeros(count, dtype=bool)
+        known = found | self._complete | sink_rows
+        if sink_rows.any():
+            values[sink_rows] = t[sink_rows]
+        return values, known
+
+    def lookup_one(self, node: int, t: int) -> Tuple[int, bool]:
+        """Scalar :meth:`lookup` for walk-time late resolution."""
+        if node == self._sink:
+            return t, True
+        key = node * self._stride + t
+        keys = self._keys_list
+        idx = bisect_right(keys, key)
+        if idx < len(keys) and keys[idx] < (node + 1) * self._stride:
+            return self._flat_times_list[idx], True
+        return self._horizon + 1, self._complete
+
+
+class _WaitingGreedyState:
+    __slots__ = ("tau", "table")
+
+    def __init__(self, tau: int, table: SinkMeetTable) -> None:
+        self.tau = tau
+        self.table = table
+
+
+@register_kernel
+class WaitingGreedyKernel(DecisionKernel):
+    """Array form of :class:`~repro.algorithms.waiting_greedy.WaitingGreedy`.
+
+    Supported exactly when the trial's ``meetTime`` oracle is a
+    non-strict :class:`~repro.knowledge.meet_time.MeetTimeKnowledge` backed
+    by the trial's own committed-block source — the shape every sim-layer
+    runner builds — so the kernel's precomputed meeting tables are provably
+    the same function the object algorithm would query.
+    """
+
+    algorithm_name = "waiting_greedy"
+    vectorized = True
+
+    def prepare(self, algorithm, source, knowledge, horizon, n, sink_index,
+                translate=None, sink_node=None):
+        from ..knowledge.meet_time import MeetTimeKnowledge
+
+        oracle = None
+        if knowledge is not None and hasattr(knowledge, "oracle"):
+            try:
+                oracle = knowledge.oracle(KNOWLEDGE_MEET_TIME)
+            except Exception:
+                oracle = None
+        elif isinstance(knowledge, MeetTimeKnowledge):
+            oracle = knowledge
+        if not isinstance(oracle, MeetTimeKnowledge):
+            raise KernelUnsupported("no meetTime oracle to mirror")
+        if oracle.strict or oracle.horizon is None:
+            raise KernelUnsupported("strict/unbounded meetTime oracle")
+        if oracle.source is not source:
+            raise KernelUnsupported("meetTime oracle not backed by the source")
+        if oracle.sink != sink_node:
+            # An oracle answering about a *different* sink cannot be
+            # mirrored by the executor-sink meeting tables.
+            raise KernelUnsupported("meetTime oracle queries a different sink")
+        if not hasattr(source, "committed_index_block"):
+            raise KernelUnsupported("source is not a committed-block adversary")
+        table = SinkMeetTable(
+            source,
+            sink_index,
+            oracle.horizon,
+            translate=translate,
+            gap=n * (n - 1) // 2,
+        )
+        return _WaitingGreedyState(int(algorithm.tau), table)
+
+    def decide_block(self, state, iu, iv, t):
+        table = state.table
+        tau = state.tau
+        # Meetings at or below tau must be exact for the abstain decision,
+        # so the scan runs out to tau + 1 once; afterwards every *unknown*
+        # meet time is > covered >= tau + 1, i.e. automatically both beyond
+        # tau and beyond any known (in-prefix) partner value: with one side
+        # known the comparison and the tau threshold are both decided.
+        # Pairs whose meet times are BOTH unknown are returned as PENDING
+        # and resolved lazily (:meth:`resolve_one`) only if they are still
+        # live when the engine's walk reaches them — this keeps the scan
+        # depth bounded by the meetings the *realized* run actually
+        # compares, never by stale candidates the reference engine would
+        # not have queried either.
+        table.ensure_scanned(tau + 1)
+        m1, k1 = table.lookup(iu, t)
+        m2, k2 = table.lookup(iv, t)
+        dirs = np.full(iu.shape[0], PENDING, dtype=np.int8)
+        both = k1 & k2
+        # The object form abstains exactly when max(m1, m2) <= tau;
+        # otherwise the side with the later sink meeting transmits
+        # (ties go to the first node, which also covers the sink itself).
+        dirs[both & (m1 <= tau) & (m2 <= tau)] = NO_TRANSMISSION
+        dirs[both & (m1 <= m2) & (tau < m2)] = FIRST_RECEIVES
+        dirs[both & (m1 > m2) & (tau < m1)] = SECOND_RECEIVES
+        dirs[k1 & ~k2] = FIRST_RECEIVES
+        dirs[~k1 & k2] = SECOND_RECEIVES
+        return dirs
+
+    def resolve_one(self, state, iu, iv, t):
+        table = state.table
+        tau = state.tau
+        while True:
+            m1, k1 = table.lookup_one(iu, t)
+            m2, k2 = table.lookup_one(iv, t)
+            if k1 and k2:
+                if m1 <= m2:
+                    return FIRST_RECEIVES if tau < m2 else NO_TRANSMISSION
+                return SECOND_RECEIVES if tau < m1 else NO_TRANSMISSION
+            if k1:
+                return FIRST_RECEIVES
+            if k2:
+                return SECOND_RECEIVES
+            table.extend_round()
+
+
+# --------------------------------------------------------------------- #
+# Sequential kernels: the randomized oblivious baselines
+# --------------------------------------------------------------------- #
+class _RngState:
+    __slots__ = ("sink_index", "random", "p")
+
+    def __init__(self, sink_index: int, random: Callable[[], float], p: float = 0.0) -> None:
+        self.sink_index = sink_index
+        self.random = random
+        self.p = p
+
+
+@register_kernel
+class CoinFlipGatheringKernel(DecisionKernel):
+    """Sequential twin of :class:`~repro.algorithms.random_baseline.CoinFlipGathering`.
+
+    Shares the algorithm instance's ``random.Random`` stream, so decisions —
+    and therefore the whole run — are identical to the object form as long
+    as the engine calls :meth:`decide_one` on exactly the reference
+    engine's ``decide`` call sites (both endpoints owning data, time order).
+    """
+
+    algorithm_name = "coin_flip_gathering"
+    vectorized = False
+
+    def prepare(self, algorithm, source, knowledge, horizon, n, sink_index,
+                translate=None, sink_node=None):
+        return _RngState(sink_index, algorithm._rng.random, p=algorithm.p)
+
+    def decide_one(self, state, iu, iv, t):
+        if state.random() >= state.p:
+            return NO_TRANSMISSION
+        if iu == state.sink_index:
+            return FIRST_RECEIVES
+        if iv == state.sink_index:
+            return SECOND_RECEIVES
+        return FIRST_RECEIVES
+
+
+@register_kernel
+class RandomReceiverKernel(DecisionKernel):
+    """Sequential twin of :class:`~repro.algorithms.random_baseline.RandomReceiver`."""
+
+    algorithm_name = "random_receiver"
+    vectorized = False
+
+    def prepare(self, algorithm, source, knowledge, horizon, n, sink_index,
+                translate=None, sink_node=None):
+        return _RngState(sink_index, algorithm._rng.random)
+
+    def decide_one(self, state, iu, iv, t):
+        if state.random() < 0.5:
+            # First receives, second sends — unless the sender is the sink.
+            return NO_TRANSMISSION if iv == state.sink_index else FIRST_RECEIVES
+        return NO_TRANSMISSION if iu == state.sink_index else SECOND_RECEIVES

@@ -29,7 +29,6 @@ from typing import List, Optional
 from .adversaries.factory import ADVERSARY_FAMILIES
 from .core.algorithm import registry
 from .experiments.registry import EXPERIMENTS, run_experiment
-from .sim.batch import sweep_adversary_batched
 from .sim.parallel import sweep_random_adversary
 from .sim.runner import (
     ENGINES,
@@ -54,8 +53,10 @@ def build_parser() -> argparse.ArgumentParser:
             choices=sorted(ENGINES),
             default="reference",
             help="execution engine: 'reference' is the semantics oracle, "
-            "'fast' produces identical results with far less per-interaction "
-            "overhead (default: reference)",
+            "'fast' removes per-interaction overhead, 'vectorized' runs "
+            "whole sweep cells as numpy arrays (kernel-less algorithms "
+            "fall back to the fast engine) — all three produce identical "
+            "results seed for seed (default: reference)",
         )
 
     def add_workers_option(target: argparse.ArgumentParser) -> None:
@@ -133,7 +134,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--batched",
         action="store_true",
         help="run each sweep cell as one batched engine invocation "
-        "(fast engine; results identical to the per-trial path)",
+        "(fast or vectorized engine; composes with --workers, which then "
+        "distributes whole cells; results identical to the per-trial path)",
+    )
+    sweep_parser.add_argument(
+        "--block-size",
+        type=int,
+        default=None,
+        help="committed-future window consumed per batched-engine step "
+        "(tuning knob for --engine fast/vectorized; default: the engine's "
+        "benchmarked default)",
     )
     return parser
 
@@ -202,38 +212,30 @@ def main(argv: Optional[List[str]] = None) -> int:
                 )
         except ValueError as error:
             parser.error(str(error))
-        if args.batched:
-            if args.workers != 1:
-                print(
-                    "note: --batched runs each cell in-process; --workers "
-                    "ignored",
-                    file=sys.stderr,
-                )
-            if args.engine != "fast":
-                print(
-                    f"note: --batched is a fast-engine feature; engine "
-                    f"{args.engine!r} falls back to per-trial execution "
-                    "(identical results, none of the batching)",
-                    file=sys.stderr,
-                )
-            sweep = sweep_adversary_batched(
-                lambda n: _create_algorithm(args.algorithm, n),
-                ns,
-                args.trials,
-                master_seed=args.master_seed,
-                engine=args.engine,
-                adversary=args.adversary,
+        if args.batched and args.engine == "reference":
+            print(
+                "note: --batched is a batched-engine feature; engine "
+                "'reference' falls back to per-trial execution "
+                "(identical results, none of the batching)",
+                file=sys.stderr,
             )
-        else:
-            sweep = sweep_random_adversary(
-                lambda n: _create_algorithm(args.algorithm, n),
-                ns,
-                args.trials,
-                master_seed=args.master_seed,
-                engine=args.engine,
-                workers=args.workers,
-                adversary=args.adversary,
+        if args.block_size is not None and not args.batched:
+            print(
+                "note: --block-size only affects batched engine "
+                "invocations; pass --batched to use it",
+                file=sys.stderr,
             )
+        sweep = sweep_random_adversary(
+            lambda n: _create_algorithm(args.algorithm, n),
+            ns,
+            args.trials,
+            master_seed=args.master_seed,
+            engine=args.engine,
+            workers=args.workers,
+            adversary=args.adversary,
+            batched=args.batched,
+            block_size=args.block_size if args.batched else None,
+        )
         _emit(sweep.to_table().to_markdown(), args.output)
         return 0
 

@@ -54,10 +54,45 @@ from .execution import ExecutionResult, InteractionProvider, Transmission
 from .interaction import InteractionSequence, _canonical_pair
 from .node import NodeView
 
-#: Number of committed interactions fetched per batch from a committed
-#: adversary.  Large enough to amortise the numpy slicing, small enough that
-#: an early termination does not force drawing far beyond the duration.
-_BLOCK = 4096
+#: Default number of committed interactions fetched per batch from a
+#: committed adversary.  Large enough to amortise the numpy slicing, small
+#: enough that an early termination does not force drawing far beyond the
+#: duration.  Both batched engines take a per-instance ``block_size``
+#: option; the default is pinned by the micro-benchmark in
+#: ``benchmarks/test_bench_blocksize.py``.
+DEFAULT_BLOCK_SIZE = 4096
+
+
+def validate_instance(nodes: List[NodeId], sink: NodeId) -> None:
+    """The DODA instance checks shared by every optimised engine.
+
+    Raises:
+        ModelViolationError: on a sink outside the node set, duplicate
+            identifiers, or fewer than two nodes.
+    """
+    if sink not in nodes:
+        raise ModelViolationError(f"sink {sink!r} is not among the nodes")
+    if len(set(nodes)) != len(nodes):
+        raise ModelViolationError("node identifiers must be unique")
+    if len(nodes) < 2:
+        raise ModelViolationError("a DODA instance needs at least 2 nodes")
+
+
+def identifier_ranks(nodes: List[NodeId]) -> Optional[List[int]]:
+    """Canonical presentation rank per dense index, or None.
+
+    Mirrors :class:`~repro.core.interaction.Interaction`'s ordering: the
+    rank of a node is its position in the sorted identifier order.  Returns
+    None when the identifiers are not totally ordered (engines then use a
+    per-pair fallback or route to a safer path).  Shared by the fast and
+    vectorized engines so the canonical-order convention cannot drift
+    between them.
+    """
+    try:
+        rank_of = {node: rank for rank, node in enumerate(sorted(nodes))}
+        return [rank_of[node] for node in nodes]
+    except TypeError:
+        return None
 
 
 @dataclass
@@ -136,12 +171,7 @@ class _RunState:
         sink: NodeId,
         initial_payloads: Optional[Dict[NodeId, float]],
     ) -> None:
-        if sink not in nodes:
-            raise ModelViolationError(f"sink {sink!r} is not among the nodes")
-        if len(set(nodes)) != len(nodes):
-            raise ModelViolationError("node identifiers must be unique")
-        if len(nodes) < 2:
-            raise ModelViolationError("a DODA instance needs at least 2 nodes")
+        validate_instance(nodes, sink)
         payloads = initial_payloads or {}
         self.nodes = nodes
         self.index_of = {node: position for position, node in enumerate(nodes)}
@@ -172,6 +202,7 @@ class FastExecutor:
         aggregation: AggregationFunction = SUM,
         knowledge: Any = None,
         enforce_oblivious: bool = False,
+        block_size: Optional[int] = None,
     ) -> None:
         self.nodes = list(nodes)
         self.sink = sink
@@ -179,19 +210,15 @@ class FastExecutor:
         self.aggregation = aggregation
         self.knowledge = knowledge
         self.enforce_oblivious = enforce_oblivious
+        if block_size is not None and block_size < 1:
+            raise ConfigurationError("block_size must be a positive integer")
+        self.block_size = int(block_size or DEFAULT_BLOCK_SIZE)
         available = () if knowledge is None else knowledge.provides()
         algorithm.validate_knowledge(available)
-        # Canonical presentation order of interacting pairs, mirroring
-        # Interaction's ordering: precomputed once per executor as a rank per
-        # dense index when the identifiers are totally ordered, with a
-        # per-pair fallback.  Shared by every run of this instance.
-        try:
-            rank_of = {node: r for r, node in enumerate(sorted(self.nodes))}
-            self._rank: Optional[List[int]] = [
-                rank_of[node] for node in self.nodes
-            ]
-        except TypeError:
-            self._rank = None
+        # Canonical presentation order of interacting pairs (see
+        # identifier_ranks), shared by every run of this instance; None
+        # selects the per-pair fallback in the hot loop.
+        self._rank: Optional[List[int]] = identifier_ranks(self.nodes)
 
     # ------------------------------------------------------------------ #
     def run(
@@ -426,8 +453,9 @@ class _LoopContext:
             index_of = run.index_of
             translate = [index_of[node] for node in adversary_nodes]
         time = 0
+        block = self.executor.block_size
         while time < self.max_interactions:
-            stop = min(self.max_interactions, time + _BLOCK)
+            stop = min(self.max_interactions, time + block)
             requested = stop - time
             block_i, block_j = adversary.committed_index_block(time, stop)
             li = block_i.tolist()

@@ -6,6 +6,7 @@ from .extensions import (
     run_offline_crosscheck,
     run_tau_tradeoff,
     run_tree_order_ablation,
+    run_vectorized_engine_check,
 )
 from .impossibility import run_theorem1, run_theorem2, run_theorem3
 from .knowledge import run_theorem4, run_theorem5, run_theorem6
@@ -36,6 +37,7 @@ __all__ = [
     "run_offline_crosscheck",
     "run_tau_tradeoff",
     "run_theorem1",
+    "run_vectorized_engine_check",
     "run_tree_order_ablation",
     "run_theorem10",
     "run_theorem11",

@@ -12,6 +12,7 @@ from .extensions import (
     run_offline_crosscheck,
     run_tau_tradeoff,
     run_tree_order_ablation,
+    run_vectorized_engine_check,
 )
 from .impossibility import run_theorem1, run_theorem2, run_theorem3
 from .knowledge import run_theorem4, run_theorem5, run_theorem6
@@ -63,6 +64,7 @@ EXPERIMENTS: Dict[str, ExperimentSpec] = {
         ExperimentSpec("E20", "Ablation: spanning-tree edge-order robustness", run_tree_order_ablation),
         ExperimentSpec("E21", "Extension: mobility adversaries (waypoint, community)", run_mobility_adversaries),
         ExperimentSpec("E22", "Extension: contact-trace replay (committed protocol)", run_trace_replay),
+        ExperimentSpec("E23", "Extension: trial-vectorized engine equivalence (+ speedup)", run_vectorized_engine_check),
     )
 }
 

@@ -45,6 +45,19 @@ class KnowledgeBundle:
                 f"(available: {sorted(self._oracles)})"
             ) from None
 
+    def oracle(self, name: str) -> Any:
+        """The oracle object registered under ``name``.
+
+        Used by the vectorized decision kernels to verify that the oracle
+        they are about to mirror (e.g. a ``meetTime`` oracle backed by the
+        trial's committed adversary) has exactly the shape they can
+        reproduce.
+
+        Raises:
+            KnowledgeError: if the oracle was not granted.
+        """
+        return self._get(name)
+
     # ------------------------------------------------------------------ #
     # Dispatch helpers used by NodeView and algorithms
     # ------------------------------------------------------------------ #

@@ -56,6 +56,29 @@ class MeetTimeKnowledge:
         self._horizon = horizon
         self._strict = strict
 
+    # Read-only configuration accessors, used by the vectorized decision
+    # kernels to check that this oracle has exactly the shape their
+    # precomputed meeting tables mirror.
+    @property
+    def source(self) -> CommittedFutureSource:
+        """The committed-future source answering the queries."""
+        return self._source
+
+    @property
+    def sink(self) -> NodeId:
+        """The sink whose meetings are being queried."""
+        return self._sink
+
+    @property
+    def horizon(self) -> Optional[int]:
+        """The horizon cap (None when uncapped)."""
+        return self._horizon
+
+    @property
+    def strict(self) -> bool:
+        """Whether beyond-horizon queries raise instead of saturating."""
+        return self._strict
+
     def meet_time(self, node: NodeId, t: int) -> int:
         """Return the node's next interaction time with the sink after ``t``."""
         if node == self._sink:

@@ -3,10 +3,12 @@
 The per-trial runner (:func:`repro.sim.runner.run_sweep_trial`) assembles a
 fresh executor for every ``(n, trial)`` grid cell entry.  This module runs a
 whole sweep cell — all trials of one algorithm at one ``n`` — through **one
-engine invocation**: a single :class:`~repro.core.fast_execution.
-FastExecutor` is constructed per cell and its :meth:`~repro.core.
-fast_execution.FastExecutor.run_many` executes every trial, sharing the
-dense node-index map and canonical-rank precomputation across trials.
+engine invocation**: a single batch-capable executor
+(:class:`~repro.core.fast_execution.FastExecutor` or the trial-vectorized
+:class:`~repro.core.vector_execution.VectorizedExecutor`) is constructed
+per cell and its ``run_many`` executes every trial, sharing the dense
+node-index map, canonical-rank precomputation and — for the vectorized
+engine — the whole struct-of-arrays lockstep across trials.
 
 Determinism contract: the batched sweep derives exactly the same per-trial
 seeds, horizons and adversaries as the serial and parallel runners, so
@@ -52,15 +54,20 @@ def run_sweep_cell(
     engine: str = "fast",
     adversary: str = "uniform",
     adversary_params: Optional[Dict[str, Any]] = None,
+    block_size: Optional[int] = None,
 ) -> List[TrialMetrics]:
     """Run all ``trials`` of one sweep cell in one engine invocation.
 
     Seeds, horizons, adversaries and knowledge oracles are derived exactly
     as in :func:`repro.sim.runner.run_sweep_trial`, so the returned metrics
     are identical to the per-trial path.  ``engine="fast"`` routes the cell
-    through :meth:`FastExecutor.run_many`; ``engine="reference"`` runs one
-    reference executor per trial (the semantics oracle for differential
-    tests of this very function).
+    through :meth:`FastExecutor.run_many`, ``engine="vectorized"`` through
+    the struct-of-arrays lockstep of :meth:`~repro.core.vector_execution.
+    VectorizedExecutor.run_many` (with per-trial fast-engine fallback for
+    kernel-less algorithms); ``engine="reference"`` runs one reference
+    executor per trial (the semantics oracle for differential tests of this
+    very function).  ``block_size`` tunes the batched engines' committed
+    window (None keeps each engine's default).
 
     Raises:
         ValueError: if ``n``/``trials`` are invalid or ``engine`` /
@@ -88,17 +95,23 @@ def run_sweep_cell(
         source = committed if committed is not None else adversary_obj
         return algorithm, knowledge, source, horizon, seed
 
-    # Trials are prepared lazily — each committed future (and any
-    # horizon-length committed prefix a knowledge oracle pre-draws) is only
-    # alive while its trial runs, matching the serial path's peak memory.
+    # Trials are prepared lazily — under the fast engine each committed
+    # future (and any horizon-length committed prefix a knowledge oracle
+    # pre-draws) is only alive while its trial runs, matching the serial
+    # path's peak memory.  The vectorized engine materialises the whole
+    # cell (its lockstep consumes all committed futures side by side), so
+    # its peak memory grows with ``trials`` — by design.
     meta: List[Tuple[str, int, int]] = []
 
     def record(algorithm, horizon, seed):
         meta.append((algorithm.name, horizon, seed))
 
-    if executor_cls is FastExecutor:
+    if hasattr(executor_cls, "run_many"):
         first = prepare(0)
-        cell_executor = FastExecutor(nodes, sink, first[0], knowledge=first[1])
+        executor_kwargs: Dict[str, Any] = {"knowledge": first[1]}
+        if block_size is not None:
+            executor_kwargs["block_size"] = block_size
+        cell_executor = executor_cls(nodes, sink, first[0], **executor_kwargs)
 
         def batch_trials():
             for trial in range(trials):
@@ -144,6 +157,7 @@ def sweep_adversary_batched(
     engine: str = "fast",
     adversary: str = "uniform",
     adversary_params: Optional[Dict[str, Any]] = None,
+    block_size: Optional[int] = None,
 ) -> SweepResult:
     """Run an ``n`` sweep with one engine invocation per ``(algorithm, n)`` cell.
 
@@ -173,6 +187,7 @@ def sweep_adversary_batched(
             engine=engine,
             adversary=adversary,
             adversary_params=adversary_params,
+            block_size=block_size,
         )
         result.points.append(
             SweepPoint(n=int(n), algorithm=result.algorithm, trials=metrics)

@@ -3,11 +3,21 @@
 The sweep fan-out is embarrassingly parallel: every trial derives its own
 seed from ``(master_seed, experiment, algorithm, n, trial)`` via
 :func:`~repro.sim.seeding.derive_seed` and shares no RNG state with any
-other trial.  This module farms the ``ns x trials`` grid over a
-``multiprocessing`` pool while preserving that derivation, so a parallel
-sweep reproduces the serial :func:`repro.sim.runner.sweep_random_adversary`
-bit for bit — same :class:`~repro.sim.metrics.TrialMetrics`, same
+other trial.  This module farms work over a ``multiprocessing`` pool while
+preserving that derivation, so a parallel sweep reproduces the serial
+:func:`repro.sim.runner.sweep_random_adversary` bit for bit — same
+:class:`~repro.sim.metrics.TrialMetrics`, same
 :class:`~repro.sim.results.ResultTable` — for any ``workers`` count.
+
+Two task granularities are supported:
+
+* **per-trial** (default): the ``ns x trials`` grid is distributed one
+  trial at a time — the natural unit for the per-trial engines;
+* **per-cell** (``batched=True``): each ``n`` of the sweep becomes one
+  task executed through :func:`repro.sim.batch.run_sweep_cell`, so every
+  worker runs whole cells through a batch-capable engine — *workers ×
+  vectorized cells* is the intended scale-out shape of the trial-vectorized
+  engine.
 
 Workers are started with the ``fork`` start method (the configuration,
 including lambda algorithm factories, is inherited by the child processes
@@ -63,6 +73,26 @@ def _run_task(task: Tuple[int, int]) -> TrialMetrics:
     )
 
 
+def _run_cell_task(n: int) -> List[TrialMetrics]:
+    """Run one whole sweep cell (all trials of one ``n``) inside a worker."""
+    from .batch import run_sweep_cell
+
+    config = _WORKER_CONFIG
+    return run_sweep_cell(
+        config["factory"],
+        n,
+        config["trials"],
+        master_seed=config["master_seed"],
+        experiment=config["experiment"],
+        horizon_fn=config["horizon_fn"],
+        sink=config["sink"],
+        engine=config["engine"],
+        adversary=config["adversary"],
+        adversary_params=config["adversary_params"],
+        block_size=config["block_size"],
+    )
+
+
 def _fork_context() -> Optional[multiprocessing.context.BaseContext]:
     """The ``fork`` multiprocessing context, or None when unavailable."""
     try:
@@ -83,15 +113,22 @@ def sweep_random_adversary(
     workers: int = 1,
     adversary: str = "uniform",
     adversary_params: Optional[dict] = None,
+    batched: bool = False,
+    block_size: Optional[int] = None,
 ) -> SweepResult:
     """Run a committed-adversary sweep, optionally across worker processes.
 
     Identical to :func:`repro.sim.runner.sweep_random_adversary` plus the
-    ``workers`` parameter.  ``workers <= 1`` (or a platform without the
-    ``fork`` start method) runs serially; any other value distributes the
-    ``ns x trials`` grid over a process pool.  Results are deterministic
-    and independent of ``workers`` for every adversary family (each worker
-    re-derives the trial's committed future from its seed alone).
+    ``workers`` / ``batched`` parameters.  ``workers <= 1`` (or a platform
+    without the ``fork`` start method) runs serially; any other value
+    distributes work over a process pool.  ``batched=True`` switches the
+    task granularity from single trials to whole sweep cells executed
+    through :func:`repro.sim.batch.run_sweep_cell` (one batch-capable
+    engine invocation per ``n`` — the *workers × vectorized cells* shape),
+    serially when ``workers == 1``.  Results are deterministic and
+    independent of ``workers``/``batched`` for every adversary family
+    (each worker re-derives the trial's committed future from its seed
+    alone).
 
     Raises:
         ValueError: if ``ns`` is empty, ``trials < 1``, ``workers < 1``,
@@ -104,6 +141,22 @@ def sweep_random_adversary(
         raise ValueError(f"workers must be >= 1, got {workers}")
     context = _fork_context()
     if workers == 1 or context is None:
+        if batched:
+            from .batch import sweep_adversary_batched
+
+            return sweep_adversary_batched(
+                algorithm_factory,
+                ns,
+                trials,
+                master_seed=master_seed,
+                experiment=experiment,
+                horizon_fn=horizon_fn,
+                sink=sink,
+                engine=engine,
+                adversary=adversary,
+                adversary_params=adversary_params,
+                block_size=block_size,
+            )
         return _serial_sweep(
             algorithm_factory,
             ns,
@@ -118,7 +171,6 @@ def sweep_random_adversary(
         )
 
     sample_algorithm = algorithm_factory(int(ns[0]))
-    tasks = [(int(n), trial) for n in ns for trial in range(trials)]
     config = {
         "factory": algorithm_factory,
         "master_seed": master_seed,
@@ -128,7 +180,24 @@ def sweep_random_adversary(
         "engine": engine,
         "adversary": adversary,
         "adversary_params": adversary_params,
+        "trials": trials,
+        "block_size": block_size,
     }
+    result = SweepResult(algorithm=sample_algorithm.name)
+    if batched:
+        cell_tasks = [int(n) for n in ns]
+        processes = min(workers, len(cell_tasks))
+        with context.Pool(
+            processes=processes, initializer=_init_worker, initargs=(config,)
+        ) as pool:
+            cells: List[List[TrialMetrics]] = pool.map(_run_cell_task, cell_tasks, 1)
+        for n, cell in zip(ns, cells):
+            result.points.append(
+                SweepPoint(n=int(n), algorithm=result.algorithm, trials=cell)
+            )
+        return result
+
+    tasks = [(int(n), trial) for n in ns for trial in range(trials)]
     processes = min(workers, len(tasks))
     chunksize = max(1, len(tasks) // (processes * 4))
     with context.Pool(
@@ -136,7 +205,6 @@ def sweep_random_adversary(
     ) as pool:
         metrics: List[TrialMetrics] = pool.map(_run_task, tasks, chunksize)
 
-    result = SweepResult(algorithm=sample_algorithm.name)
     for position, n in enumerate(ns):
         start = position * trials
         result.points.append(

@@ -28,6 +28,7 @@ from ..core.data import NodeId
 from ..core.execution import ExecutionResult, Executor
 from ..core.fast_execution import FastExecutor
 from ..core.interaction import InteractionSequence
+from ..core.vector_execution import VectorizedExecutor
 from ..knowledge import (
     FullKnowledge,
     FutureKnowledge,
@@ -42,11 +43,19 @@ from .seeding import derive_seed
 
 AlgorithmFactory = Callable[[int], DODAAlgorithm]
 
-#: The two interchangeable execution engines.  ``reference`` is the
+#: The three interchangeable execution engines.  ``reference`` is the
 #: semantics oracle (:class:`~repro.core.execution.Executor`); ``fast`` is
-#: the optimised engine (:class:`~repro.core.fast_execution.FastExecutor`)
-#: which produces identical results seed for seed.
-ENGINES = {"reference": Executor, "fast": FastExecutor}
+#: the per-trial optimised engine (:class:`~repro.core.fast_execution.
+#: FastExecutor`); ``vectorized`` is the trial-vectorized engine
+#: (:class:`~repro.core.vector_execution.VectorizedExecutor`), which runs
+#: whole sweep cells as numpy struct-of-arrays and falls back to the fast
+#: engine per trial whenever an algorithm has no decision kernel.  All
+#: three produce identical results seed for seed.
+ENGINES = {
+    "reference": Executor,
+    "fast": FastExecutor,
+    "vectorized": VectorizedExecutor,
+}
 
 
 def resolve_engine(engine: str):

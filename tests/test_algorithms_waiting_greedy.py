@@ -133,7 +133,10 @@ class TestEndToEnd:
         tau = optimal_tau(n, constant=2.0)
         greedy_durations = []
         gathering_durations = []
-        for seed in range(5):
+        # At n = 60 the asymptotic separation is still narrow, so the
+        # comparison needs a sample wide enough that one lucky Gathering
+        # seed cannot flip it.
+        for seed in range(12):
             greedy_durations.append(
                 run_random_trial(WaitingGreedy(tau=tau), n, seed=seed).duration
             )

@@ -140,3 +140,74 @@ class TestSweepCLI:
         assert main(["trial", "gathering", "--n", "12", "--seed", "1",
                      "--adversary", "waypoint"]) == 0
         assert "adversary=waypoint" in capsys.readouterr().out
+
+
+class TestVectorizedEngineCLI:
+    """Smoke tests for --engine vectorized across the CLI surface."""
+
+    def test_trial_vectorized_matches_reference(self, capsys):
+        assert main(["trial", "waiting_greedy", "--n", "14", "--seed", "3"]) == 0
+        reference = capsys.readouterr().out
+        assert main(["trial", "waiting_greedy", "--n", "14", "--seed", "3",
+                     "--engine", "vectorized"]) == 0
+        assert capsys.readouterr().out == reference
+
+    def test_sweep_vectorized_matches_reference(self, capsys):
+        assert main(["sweep", "waiting", "--ns", "9,11", "--trials", "3"]) == 0
+        reference = capsys.readouterr().out
+        assert (
+            main(["sweep", "waiting", "--ns", "9,11", "--trials", "3",
+                  "--engine", "vectorized"]) == 0
+        )
+        assert capsys.readouterr().out == reference
+
+    def test_sweep_vectorized_batched(self, capsys):
+        assert main(["sweep", "gathering", "--ns", "8,10", "--trials", "3"]) == 0
+        reference = capsys.readouterr().out
+        assert (
+            main(["sweep", "gathering", "--ns", "8,10", "--trials", "3",
+                  "--engine", "vectorized", "--batched"]) == 0
+        )
+        assert capsys.readouterr().out == reference
+
+    def test_sweep_vectorized_batched_workers_compose(self, capsys):
+        assert main(["sweep", "gathering", "--ns", "8,10", "--trials", "2"]) == 0
+        reference = capsys.readouterr().out
+        assert (
+            main(["sweep", "gathering", "--ns", "8,10", "--trials", "2",
+                  "--engine", "vectorized", "--batched", "--workers", "2"]) == 0
+        )
+        assert capsys.readouterr().out == reference
+
+    def test_sweep_vectorized_block_size(self, capsys):
+        assert main(["sweep", "waiting", "--ns", "9", "--trials", "2"]) == 0
+        reference = capsys.readouterr().out
+        assert (
+            main(["sweep", "waiting", "--ns", "9", "--trials", "2",
+                  "--engine", "vectorized", "--batched",
+                  "--block-size", "64"]) == 0
+        )
+        assert capsys.readouterr().out == reference
+
+    @pytest.mark.parametrize("algorithm", ("spanning_tree", "full_knowledge"))
+    def test_sweep_vectorized_fallback_algorithms(self, algorithm, capsys):
+        """Kernel-less algorithms run (via the fast-engine fallback)."""
+        assert main(["sweep", algorithm, "--ns", "8", "--trials", "2"]) == 0
+        reference = capsys.readouterr().out
+        assert (
+            main(["sweep", algorithm, "--ns", "8", "--trials", "2",
+                  "--engine", "vectorized", "--batched"]) == 0
+        )
+        assert capsys.readouterr().out == reference
+
+    def test_sweep_vectorized_mobility_adversary(self, capsys):
+        assert (
+            main(["sweep", "waiting", "--ns", "10", "--trials", "2",
+                  "--adversary", "community", "--engine", "vectorized",
+                  "--batched"]) == 0
+        )
+        assert "waiting" in capsys.readouterr().out
+
+    def test_run_e23_vectorized_equivalence_experiment(self, capsys):
+        assert main(["run", "E23"]) == 0
+        assert "reproduced" in capsys.readouterr().out

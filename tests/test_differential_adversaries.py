@@ -5,7 +5,9 @@ randomized adversary; this suite extends the differential to every other
 committed family — the non-uniform (Zipf/hub) adversary and the mobility
 adversaries (random waypoint, community, trace replay) — across all
 registered algorithms, multiple seeds and instance shapes, plus the batched
-and multi-process sweep paths with a non-uniform adversary selected.
+and multi-process sweep paths with a non-uniform adversary selected.  Both
+optimised engines (``fast`` and trial-``vectorized``) are differential
+against the reference executor.
 """
 
 import pytest
@@ -46,19 +48,20 @@ def make_algorithm(name: str, n: int):
 class TestAllAlgorithmsAllFamilies:
     """The full registry against every committed family, both engines."""
 
+    @pytest.mark.parametrize("engine", ("fast", "vectorized"))
     @pytest.mark.parametrize("family", FAMILIES)
     @pytest.mark.parametrize("name", sorted(registry.names()))
-    def test_engines_agree(self, family, name):
+    def test_engines_agree(self, family, name, engine):
         for seed in SEEDS:
             reference, _ = execute_random_trial(
                 make_algorithm(name, N), N, seed,
                 engine="reference", adversary=family,
             )
-            fast, _ = execute_random_trial(
+            candidate, _ = execute_random_trial(
                 make_algorithm(name, N), N, seed,
-                engine="fast", adversary=family,
+                engine=engine, adversary=family,
             )
-            assert fast == reference, (family, name, seed)
+            assert candidate == reference, (engine, family, name, seed)
 
 
 class TestShapes:
@@ -183,8 +186,9 @@ class TestSweepPathEquivalence:
     """Serial, parallel and batched sweeps must agree for every family."""
 
     @pytest.mark.slow
+    @pytest.mark.parametrize("engine", ("fast", "vectorized"))
     @pytest.mark.parametrize("family", FAMILIES)
-    def test_batched_sweep_reproduces_serial(self, family):
+    def test_batched_sweep_reproduces_serial(self, family, engine):
         factory = lambda n: Gathering()
         serial = sweep_random_adversary(
             factory, ns=[8, 12], trials=4, master_seed=9,
@@ -192,7 +196,7 @@ class TestSweepPathEquivalence:
         )
         batched = sweep_adversary_batched(
             factory, ns=[8, 12], trials=4, master_seed=9,
-            engine="fast", adversary=family,
+            engine=engine, adversary=family,
         )
         assert batched.algorithm == serial.algorithm
         assert batched.ns == serial.ns

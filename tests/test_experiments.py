@@ -34,8 +34,8 @@ TRIALS = 8
 
 class TestRegistry:
     def test_all_experiments_registered(self):
-        assert len(EXPERIMENTS) == 22
-        assert set(EXPERIMENTS) == {f"E{i}" for i in range(1, 23)}
+        assert len(EXPERIMENTS) == 23
+        assert set(EXPERIMENTS) == {f"E{i}" for i in range(1, 24)}
 
     def test_run_experiment_unknown_id(self):
         with pytest.raises(KeyError):

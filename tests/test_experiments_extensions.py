@@ -1,4 +1,4 @@
-"""Tests for the extension / ablation experiments (E17–E20)."""
+"""Tests for the extension / ablation experiments (E17–E20, E23)."""
 
 import pytest
 
@@ -7,13 +7,14 @@ from repro.experiments import (
     run_offline_crosscheck,
     run_tau_tradeoff,
     run_tree_order_ablation,
+    run_vectorized_engine_check,
 )
 from repro.experiments.registry import EXPERIMENTS
 
 
 class TestExtensionRegistry:
     def test_extensions_registered(self):
-        assert {"E17", "E18", "E19", "E20"} <= set(EXPERIMENTS)
+        assert {"E17", "E18", "E19", "E20", "E23"} <= set(EXPERIMENTS)
 
 
 class TestOfflineCrosscheck:
@@ -47,3 +48,23 @@ class TestTreeOrderAblation:
         report = run_tree_order_ablation(n=10, trees=3, rounds=8)
         assert report.verdict
         assert all(row["cost"] == 1.0 for row in report.tables[0].rows)
+
+
+class TestVectorizedEngineCheck:
+    def test_vectorized_engine_is_metric_identical(self):
+        report = run_vectorized_engine_check(n=18, trials=4)
+        assert report.verdict
+        for row in report.tables[0].rows:
+            assert row["identical"], row
+        # One row per (algorithm, adversary) combination.
+        assert len(report.tables[0].rows) == 6
+        assert report.details["engine"] == "vectorized"
+
+    def test_fast_engine_also_passes_the_check(self):
+        """The candidate engine is pluggable; fast must pass it too."""
+        report = run_vectorized_engine_check(
+            n=14, trials=3, candidate_engine="fast",
+            adversaries=("uniform",),
+        )
+        assert report.verdict
+        assert report.details["engine"] == "fast"

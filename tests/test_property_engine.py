@@ -1,8 +1,10 @@
 """Seeded property-based invariants of the execution engines.
 
 Each case derives a random ``(adversary family, algorithm, n, sink, seed)``
-combination from a case seed, runs it through the fast engine, and asserts
-the invariants every result in the repository builds on:
+combination from a case seed, runs it through the engine under test (the
+whole class is parametrized over the fast AND the trial-vectorized
+engines), and asserts the invariants every result in the repository builds
+on:
 
 * **data conservation** — replaying the transmission log as a coverage
   algebra never loses or duplicates an origin: the surviving owners'
@@ -29,6 +31,7 @@ from repro.adversaries.factory import ADVERSARY_FAMILIES, make_adversary
 from repro.core.algorithm import registry
 from repro.core.execution import Executor
 from repro.core.fast_execution import FastExecutor
+from repro.core.vector_execution import VectorizedExecutor
 from repro.sim.runner import build_knowledge_for_random_run, default_horizon
 
 CASE_COUNT = 24
@@ -56,7 +59,7 @@ def make_algorithm(name: str, n: int):
     return registry.create(name, **kwargs)
 
 
-def run_case(case_seed: int):
+def run_case(case_seed: int, engine_cls=FastExecutor):
     family, name, n, sink, seed = derive_case(case_seed)
     nodes = list(range(n))
     algorithm = make_algorithm(name, n)
@@ -69,17 +72,21 @@ def run_case(case_seed: int):
         algorithm, adversary, nodes, sink, horizon
     )
     source = committed if committed is not None else adversary
-    result = FastExecutor(nodes, sink, algorithm, knowledge=knowledge).run(
+    result = engine_cls(nodes, sink, algorithm, knowledge=knowledge).run(
         source, max_interactions=horizon
     )
     return family, name, n, sink, seed, adversary, result, horizon
 
 
 @pytest.mark.slow
+@pytest.mark.parametrize(
+    "engine_cls", (FastExecutor, VectorizedExecutor),
+    ids=("fast", "vectorized"),
+)
 @pytest.mark.parametrize("case_seed", range(CASE_COUNT))
 class TestEngineInvariants:
-    def test_data_conservation(self, case_seed):
-        _, _, n, sink, _, _, result, _ = run_case(case_seed)
+    def test_data_conservation(self, case_seed, engine_cls):
+        _, _, n, sink, _, _, result, _ = run_case(case_seed, engine_cls)
         coverage = {node: 1 for node in range(n)}
         owners = set(range(n))
         for transmission in result.transmissions:
@@ -96,36 +103,36 @@ class TestEngineInvariants:
             assert result.sink_coverage == n
             assert len(result.transmissions) == n - 1
 
-    def test_sink_monotone_and_never_sends(self, case_seed):
-        _, _, _, sink, _, _, result, _ = run_case(case_seed)
+    def test_sink_monotone_and_never_sends(self, case_seed, engine_cls):
+        _, _, _, sink, _, _, result, _ = run_case(case_seed, engine_cls)
         assert all(t.sender != sink for t in result.transmissions)
         times = [t.time for t in result.transmissions]
         assert times == sorted(times)
 
-    def test_no_transmission_after_data_loss(self, case_seed):
-        _, _, _, _, _, _, result, _ = run_case(case_seed)
+    def test_no_transmission_after_data_loss(self, case_seed, engine_cls):
+        _, _, _, _, _, _, result, _ = run_case(case_seed, engine_cls)
         lost_at = {}
         for transmission in result.transmissions:
             assert transmission.sender not in lost_at
             assert transmission.receiver not in lost_at
             lost_at[transmission.sender] = transmission.time
 
-    def test_transmissions_ride_committed_interactions(self, case_seed):
-        _, _, _, _, _, adversary, result, _ = run_case(case_seed)
+    def test_transmissions_ride_committed_interactions(self, case_seed, engine_cls):
+        _, _, _, _, _, adversary, result, _ = run_case(case_seed, engine_cls)
         prefix = adversary.committed_prefix(result.interactions_used)
         for transmission in result.transmissions:
             assert prefix[transmission.time].pair == frozenset(
                 (transmission.sender, transmission.receiver)
             )
 
-    def test_committed_prefix_replay_reproduces_run(self, case_seed):
+    def test_committed_prefix_replay_reproduces_run(self, case_seed, engine_cls):
         family, name, n, sink, seed, adversary, result, horizon = run_case(
-            case_seed
+            case_seed, engine_cls
         )
         replay_source = adversary.committed_prefix(
             min(horizon, max(result.interactions_used, 1))
         )
-        replayed = FastExecutor(
+        replayed = engine_cls(
             list(range(n)), sink, make_algorithm(name, n),
             knowledge=build_knowledge_for_random_run(
                 make_algorithm(name, n), adversary, list(range(n)), sink,
@@ -136,8 +143,8 @@ class TestEngineInvariants:
         assert replayed.terminated == result.terminated
         assert replayed.duration == result.duration
 
-    def test_oracle_answers_match_realized_schedule(self, case_seed):
-        _, _, n, sink, _, adversary, result, _ = run_case(case_seed)
+    def test_oracle_answers_match_realized_schedule(self, case_seed, engine_cls):
+        _, _, n, sink, _, adversary, result, _ = run_case(case_seed, engine_cls)
         window = max(result.interactions_used, 64)
         prefix = adversary.committed_prefix(window)
         probe = random.Random(case_seed)
@@ -164,8 +171,10 @@ class TestEngineInvariants:
                 extended = adversary.committed_prefix(answer + 1)
                 assert extended[answer].pair == frozenset((node, sink))
 
-    def test_reference_engine_agrees(self, case_seed):
-        family, name, n, sink, seed, _, result, horizon = run_case(case_seed)
+    def test_reference_engine_agrees(self, case_seed, engine_cls):
+        family, name, n, sink, seed, _, result, horizon = run_case(
+            case_seed, engine_cls
+        )
         nodes = list(range(n))
         algorithm = make_algorithm(name, n)
         adversary = make_adversary(

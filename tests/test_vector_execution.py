@@ -1,0 +1,432 @@
+"""Differential and unit tests for the trial-vectorized engine.
+
+The contract under test: :class:`~repro.core.vector_execution.
+VectorizedExecutor` is **exactly** interchangeable with the reference
+executor — same :class:`~repro.core.execution.ExecutionResult` including
+the transmission log, seed for seed — for every kernelized algorithm under
+every committed adversary family (uniform / zipf / hub / waypoint /
+community / trace replay), and transparently falls back to the fast engine
+everywhere else (kernel-less algorithms, adaptive providers,
+``enforce_oblivious`` runs).
+"""
+
+import numpy as np
+import pytest
+
+from repro.adversaries import TraceReplayAdversary, make_adversary
+from repro.adversaries.committed import CommittedBlockAdversary
+from repro.algorithms.gathering import Gathering
+from repro.algorithms.kernels import KERNELS, get_kernel
+from repro.algorithms.waiting import Waiting
+from repro.algorithms.waiting_greedy import WaitingGreedy, optimal_tau
+from repro.core.algorithm import registry
+from repro.core.data import MAX
+from repro.core.execution import Executor
+from repro.core.exceptions import ConfigurationError
+from repro.core.fast_execution import FastExecutor
+from repro.core.interaction import InteractionSequence
+from repro.core.vector_execution import VectorizedExecutor
+from repro.graph.traces import VehicularGridTrace
+from repro.sim.batch import run_sweep_cell, sweep_adversary_batched
+from repro.sim.parallel import sweep_random_adversary as parallel_sweep
+from repro.sim.runner import (
+    build_knowledge_for_random_run,
+    build_trial_adversary,
+    default_horizon,
+    execute_random_trial,
+    sweep_random_adversary,
+)
+
+FAMILIES = ("uniform", "zipf", "hub", "waypoint", "community")
+#: Algorithms with a registered decision kernel.
+KERNELIZED = sorted(KERNELS)
+#: Algorithms that must transparently fall back to the fast engine.
+KERNEL_LESS = sorted(set(registry.names()) - set(KERNELS))
+
+
+def make_algorithm(name: str, n: int):
+    kwargs = {}
+    if name == "waiting_greedy":
+        kwargs["tau"] = optimal_tau(n)
+    elif name in ("coin_flip_gathering", "random_receiver"):
+        kwargs["seed"] = 20_16
+    return registry.create(name, **kwargs)
+
+
+def run_engine(engine_cls, name, n, seed, sink=0, family="uniform",
+               block_size=None):
+    """One committed-adversary trial through an explicit engine class."""
+    algorithm = make_algorithm(name, n)
+    nodes = list(range(n))
+    horizon = default_horizon(algorithm, n)
+    adversary = build_trial_adversary(family, nodes, seed, horizon, sink, None)
+    knowledge, committed = build_knowledge_for_random_run(
+        algorithm, adversary, nodes, sink, horizon
+    )
+    source = committed if committed is not None else adversary
+    kwargs = {} if block_size is None else {"block_size": block_size}
+    executor = engine_cls(nodes, sink, algorithm, knowledge=knowledge, **kwargs)
+    return executor.run(source, max_interactions=horizon)
+
+
+class TestKernelRegistry:
+    def test_paper_algorithms_have_kernels(self):
+        for name in ("gathering", "waiting", "waiting_greedy",
+                     "coin_flip_gathering", "random_receiver"):
+            assert get_kernel(name) is not None, name
+
+    def test_knowledge_heavy_algorithms_have_no_kernels(self):
+        for name in ("spanning_tree", "full_knowledge", "future_broadcast"):
+            assert get_kernel(name) is None, name
+
+
+class TestKernelVsObjectDifferential:
+    """Kernel decisions == object decisions, end to end, per family."""
+
+    @pytest.mark.parametrize("family", FAMILIES)
+    @pytest.mark.parametrize("name", KERNELIZED)
+    def test_kernel_matches_object_form(self, family, name):
+        for seed in (0, 1, 2):
+            reference = run_engine(Executor, name, 13, seed, family=family)
+            vectorized = run_engine(
+                VectorizedExecutor, name, 13, seed, family=family
+            )
+            assert vectorized == reference, (family, name, seed)
+
+    @pytest.mark.parametrize("name", KERNELIZED)
+    def test_trace_replay_family(self, name):
+        from repro.knowledge import KnowledgeBundle, MeetTimeKnowledge
+
+        trace = VehicularGridTrace(
+            vehicle_count=9, grid_size=4, steps=400, seed=3
+        ).build()
+        nodes = list(trace.nodes)
+
+        def run(engine_cls):
+            algorithm = make_algorithm(name, len(nodes))
+            adversary = TraceReplayAdversary(trace)
+            knowledge = None
+            if name == "waiting_greedy":
+                knowledge = KnowledgeBundle(
+                    MeetTimeKnowledge(
+                        adversary, trace.sink, horizon=trace.length,
+                        strict=False,
+                    )
+                )
+            return engine_cls(
+                nodes, trace.sink, algorithm, knowledge=knowledge
+            ).run(adversary, max_interactions=trace.length)
+
+        assert run(VectorizedExecutor) == run(Executor)
+
+    @pytest.mark.parametrize("name", ("gathering", "waiting"))
+    def test_non_default_sink_and_shapes(self, name):
+        for n, sink in ((5, 2), (9, 8), (17, 4)):
+            reference = run_engine(Executor, name, n, seed=7, sink=sink)
+            vectorized = run_engine(VectorizedExecutor, name, n, seed=7, sink=sink)
+            assert vectorized == reference, (name, n, sink)
+
+    def test_sequence_source(self):
+        """Finite committed sequences run through the kernel path too."""
+        nodes = list(range(10))
+        adversary = make_adversary("uniform", nodes, seed=5, sink=0)
+        sequence = adversary.committed_prefix(600)
+        for algorithm_cls in (Gathering, Waiting):
+            reference = Executor(nodes, 0, algorithm_cls()).run(sequence)
+            vectorized = VectorizedExecutor(nodes, 0, algorithm_cls()).run(sequence)
+            assert vectorized == reference, algorithm_cls
+
+    def test_initial_payloads_and_aggregation(self):
+        nodes = list(range(8))
+        adversary = make_adversary("uniform", nodes, seed=9, sink=0)
+        sequence = adversary.committed_prefix(400)
+        payloads = {node: float(node) * 1.5 for node in nodes}
+        reference = Executor(nodes, 0, Gathering(), aggregation=MAX).run(
+            sequence, initial_payloads=payloads
+        )
+        vectorized = VectorizedExecutor(nodes, 0, Gathering(), aggregation=MAX).run(
+            sequence, initial_payloads=payloads
+        )
+        assert vectorized == reference
+        assert vectorized.sink_payload == max(payloads.values())
+
+    @pytest.mark.parametrize("block_size", (64, 1000, 4096, 1 << 17))
+    def test_block_size_independence(self, block_size):
+        """Block boundaries are consumption windows, never semantics."""
+        for name in ("gathering", "waiting", "waiting_greedy"):
+            reference = run_engine(Executor, name, 14, seed=3)
+            vectorized = run_engine(
+                VectorizedExecutor, name, 14, seed=3, block_size=block_size
+            )
+            assert vectorized == reference, (name, block_size)
+
+    def test_invalid_block_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            VectorizedExecutor(list(range(4)), 0, Gathering(), block_size=0)
+
+    def test_unbounded_provider_requires_horizon(self):
+        adversary = make_adversary("uniform", list(range(6)), seed=0, sink=0)
+        with pytest.raises(ConfigurationError):
+            VectorizedExecutor(list(range(6)), 0, Gathering()).run(adversary)
+
+
+class TestFallback:
+    """Trials the kernels cannot mirror run through the fast engine."""
+
+    @pytest.mark.parametrize("name", KERNEL_LESS)
+    def test_kernel_less_algorithms_fall_back_exactly(self, name):
+        reference, _ = execute_random_trial(
+            make_algorithm(name, 12), 12, seed=1, engine="reference"
+        )
+        vectorized, _ = execute_random_trial(
+            make_algorithm(name, 12), 12, seed=1, engine="vectorized"
+        )
+        assert vectorized == reference, name
+
+    def test_mismatched_oracle_sink_falls_back(self):
+        """A meetTime oracle about a *different* sink cannot be mirrored."""
+        from repro.knowledge import KnowledgeBundle, MeetTimeKnowledge
+
+        nodes = list(range(12))
+        for seed in range(4):
+            def run(engine_cls):
+                adversary = make_adversary("uniform", nodes, seed=seed, sink=0)
+                knowledge = KnowledgeBundle(
+                    MeetTimeKnowledge(adversary, 3, horizon=600, strict=False)
+                )
+                return engine_cls(
+                    nodes, 0, WaitingGreedy(tau=50), knowledge=knowledge
+                ).run(adversary, max_interactions=600)
+
+            assert run(VectorizedExecutor) == run(Executor), seed
+
+    def test_sequence_with_foreign_node_falls_back(self):
+        """A sequence naming nodes outside the instance must behave like the
+        per-interaction engines (which only fail if the run reaches it)."""
+        sequence = InteractionSequence.from_pairs([(0, 1), (0, 2), (0, 99)])
+        nodes = [0, 1, 2]
+        reference = Executor(nodes, 0, Gathering()).run(sequence)
+        vectorized = VectorizedExecutor(nodes, 0, Gathering()).run(sequence)
+        assert vectorized == reference
+        assert vectorized.terminated
+
+    def test_adaptive_provider_falls_back(self):
+        from repro.adversaries.constructions import Theorem1Adversary
+
+        nodes = ["a", "b", "s"]
+        reference = Executor(nodes, "s", Gathering()).run(
+            Theorem1Adversary(), max_interactions=500
+        )
+        vectorized = VectorizedExecutor(nodes, "s", Gathering()).run(
+            Theorem1Adversary(), max_interactions=500
+        )
+        assert vectorized == reference
+
+    def test_enforce_oblivious_falls_back(self):
+        result = run_engine(Executor, "gathering", 10, seed=2)
+        nodes = list(range(10))
+        adversary = build_trial_adversary(
+            "uniform", nodes, 2, default_horizon(Gathering(), 10), 0, None
+        )
+        vectorized = VectorizedExecutor(
+            nodes, 0, Gathering(), enforce_oblivious=True
+        ).run(adversary, max_interactions=default_horizon(Gathering(), 10))
+        assert vectorized == result
+
+    def test_shared_rng_algorithm_instance_falls_back(self):
+        """One RNG-bearing instance shared by several trials must not enter
+        the lockstep: interleaving rows would consume the shared stream in
+        a different order than sequential per-trial execution."""
+        from repro.algorithms.random_baseline import RandomReceiver
+        from repro.core.fast_execution import BatchTrial
+
+        n, sink = 14, 0
+        nodes = list(range(n))
+        horizon = default_horizon(RandomReceiver(), n)
+
+        def batch(algorithm):
+            trials = []
+            for seed in (3, 4, 5):
+                adversary = build_trial_adversary(
+                    "uniform", nodes, seed, horizon, sink, None
+                )
+                trials.append(
+                    BatchTrial(source=adversary, max_interactions=horizon)
+                )
+            return trials
+
+        shared_fast = RandomReceiver(seed=99)
+        expected = FastExecutor(nodes, sink, shared_fast).run_many(
+            batch(shared_fast)
+        )
+        shared_vec = RandomReceiver(seed=99)
+        actual = VectorizedExecutor(nodes, sink, shared_vec).run_many(
+            batch(shared_vec)
+        )
+        assert actual == expected
+        # Distinct per-trial instances do take the kernel path and agree too.
+        per_trial_fast = [
+            BatchTrial(
+                source=build_trial_adversary(
+                    "uniform", nodes, seed, horizon, sink, None
+                ),
+                max_interactions=horizon,
+                algorithm=RandomReceiver(seed=seed),
+            )
+            for seed in (3, 4, 5)
+        ]
+        per_trial_vec = [
+            BatchTrial(
+                source=build_trial_adversary(
+                    "uniform", nodes, seed, horizon, sink, None
+                ),
+                max_interactions=horizon,
+                algorithm=RandomReceiver(seed=seed),
+            )
+            for seed in (3, 4, 5)
+        ]
+        assert (
+            VectorizedExecutor(nodes, sink, RandomReceiver(seed=0)).run_many(
+                per_trial_vec
+            )
+            == FastExecutor(nodes, sink, RandomReceiver(seed=0)).run_many(
+                per_trial_fast
+            )
+        )
+
+    def test_mixed_batch_preserves_order(self):
+        """Kernelized and fallback trials interleave in one batch."""
+        from repro.core.fast_execution import BatchTrial
+
+        n, sink = 11, 0
+        nodes = list(range(n))
+        names = ["gathering", "spanning_tree", "waiting", "full_knowledge"]
+        trials = []
+        expected = []
+        for position, name in enumerate(names):
+            algorithm = make_algorithm(name, n)
+            horizon = default_horizon(algorithm, n)
+            adversary = build_trial_adversary(
+                "uniform", nodes, 40 + position, horizon, sink, None
+            )
+            knowledge, committed = build_knowledge_for_random_run(
+                algorithm, adversary, nodes, sink, horizon
+            )
+            source = committed if committed is not None else adversary
+            trials.append(
+                BatchTrial(
+                    source=source,
+                    max_interactions=horizon,
+                    algorithm=algorithm,
+                    knowledge=knowledge,
+                )
+            )
+            algorithm2 = make_algorithm(name, n)
+            adversary2 = build_trial_adversary(
+                "uniform", nodes, 40 + position, horizon, sink, None
+            )
+            knowledge2, committed2 = build_knowledge_for_random_run(
+                algorithm2, adversary2, nodes, sink, horizon
+            )
+            source2 = committed2 if committed2 is not None else adversary2
+            expected.append(
+                Executor(nodes, sink, algorithm2, knowledge=knowledge2).run(
+                    source2, max_interactions=horizon
+                )
+            )
+        executor = VectorizedExecutor(nodes, sink, make_algorithm("gathering", n))
+        assert executor.run_many(trials) == expected
+
+
+class TestCommittedIndexMatrix:
+    def test_stacks_blocks_with_padding(self):
+        nodes = list(range(6))
+        long = make_adversary("uniform", nodes, seed=1, sink=0)
+        trace = VehicularGridTrace(
+            vehicle_count=6, grid_size=3, steps=10, seed=2
+        ).build()
+        short = TraceReplayAdversary(trace, nodes=list(trace.nodes))
+        matrix_i, matrix_j, lengths = (
+            CommittedBlockAdversary.committed_index_matrix(
+                [long, short], 0, max(40, short.trace_length + 5)
+            )
+        )
+        assert matrix_i.shape == matrix_j.shape
+        assert matrix_i.shape[0] == 2
+        assert lengths[0] == matrix_i.shape[1]
+        assert lengths[1] == short.trace_length
+        # Padding beyond a short row is the pad value, valid cells are not.
+        assert (matrix_i[1, int(lengths[1]):] == -1).all()
+        expected_i, expected_j = long.committed_index_block(0, int(lengths[0]))
+        assert (matrix_i[0] == expected_i).all()
+        assert (matrix_j[0] == expected_j).all()
+
+    def test_per_row_stops(self):
+        nodes = list(range(5))
+        adversaries = [
+            make_adversary("uniform", nodes, seed=s, sink=0) for s in (1, 2, 3)
+        ]
+        matrix_i, _, lengths = CommittedBlockAdversary.committed_index_matrix(
+            adversaries, 10, [30, 10, 25]
+        )
+        assert list(lengths) == [20, 0, 15]
+        assert matrix_i.shape[1] == 20
+
+    def test_stop_count_mismatch_rejected(self):
+        nodes = list(range(4))
+        adversaries = [make_adversary("uniform", nodes, seed=1, sink=0)]
+        with pytest.raises(ConfigurationError):
+            CommittedBlockAdversary.committed_index_matrix(
+                adversaries, 0, [10, 20]
+            )
+
+
+class TestSweepPaths:
+    """The sim layer routes engine='vectorized' everywhere."""
+
+    @pytest.mark.parametrize("family", FAMILIES)
+    def test_run_sweep_cell_matches_reference(self, family):
+        factory = lambda n: Waiting()
+        cell = run_sweep_cell(
+            factory, 12, 4, master_seed=11, engine="vectorized",
+            adversary=family,
+        )
+        serial = sweep_random_adversary(
+            factory, ns=[12], trials=4, master_seed=11,
+            engine="reference", adversary=family,
+        )
+        assert cell == serial.points[0].trials
+
+    def test_batched_sweep_vectorized(self):
+        factory = lambda n: WaitingGreedy(tau=optimal_tau(n))
+        batched = sweep_adversary_batched(
+            factory, ns=[8, 12], trials=3, master_seed=5, engine="vectorized",
+        )
+        serial = sweep_random_adversary(
+            factory, ns=[8, 12], trials=3, master_seed=5, engine="reference",
+        )
+        for batched_point, serial_point in zip(batched.points, serial.points):
+            assert batched_point.trials == serial_point.trials
+
+    def test_parallel_batched_cells_match_serial(self):
+        factory = lambda n: Gathering()
+        serial = sweep_random_adversary(
+            factory, ns=[8, 10, 12], trials=3, master_seed=2, engine="fast",
+        )
+        parallel = parallel_sweep(
+            factory, ns=[8, 10, 12], trials=3, master_seed=2,
+            engine="vectorized", workers=2, batched=True,
+        )
+        assert parallel.ns == serial.ns
+        for parallel_point, serial_point in zip(parallel.points, serial.points):
+            assert parallel_point.trials == serial_point.trials
+
+    def test_block_size_threads_through_cell(self):
+        factory = lambda n: Gathering()
+        default = run_sweep_cell(
+            factory, 10, 3, master_seed=1, engine="vectorized"
+        )
+        tuned = run_sweep_cell(
+            factory, 10, 3, master_seed=1, engine="vectorized", block_size=128
+        )
+        assert tuned == default
