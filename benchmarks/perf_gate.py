@@ -30,7 +30,13 @@ When the trajectory holds no vectorized record at all (fresh clone, or
 after trimming stray records), the gate measures once via
 ``test_bench_engine.measure_vectorized_engine``, **appends** the result as
 the trajectory's first vectorized record, and passes — so the very next
-run has something to guard against.  ``--measure`` forces that path.
+run has something to guard against.  ``--measure`` forces that path;
+``--require-record`` (the CI mode) forbids it, failing with a clear
+message instead when no record exists — in CI a missing record means the
+preceding benchmark step silently failed to record, which the gate must
+surface rather than paper over.  A trajectory file that exists but is
+empty or unparseable always fails with a clear message (exit code 2),
+never a traceback.
 
 Run from the repository root::
 
@@ -55,15 +61,51 @@ SAME_HOST_TOLERANCE = 0.30
 CROSS_HOST_TOLERANCE = 0.60
 
 
-def vectorized_records() -> list:
-    """All vectorized-vs-reference records, in trajectory order."""
+class TrajectoryError(RuntimeError):
+    """The benchmark trajectory file is unusable (empty, corrupt, wrong shape)."""
+
+
+def load_trajectory() -> list:
+    """The BENCH_engine.json trajectory, or ``[]`` when the file is absent.
+
+    An absent file is a legitimate bootstrap state (fresh clone before any
+    benchmark ran); an *unreadable* one is not — empty files, invalid JSON
+    and non-list payloads raise :class:`TrajectoryError` with a message
+    naming the file and the fix, instead of surfacing a raw traceback.
+    """
     path = BENCH_DIR / "BENCH_engine.json"
     if not path.exists():
         return []
-    trajectory = json.loads(path.read_text(encoding="utf-8"))
+    text = path.read_text(encoding="utf-8").strip()
+    regenerate = (
+        "delete the file and re-run the benchmarks to regenerate it "
+        "(PYTHONPATH=src python -m pytest benchmarks -x -q -s)"
+    )
+    if not text:
+        raise TrajectoryError(f"{path} exists but is empty; {regenerate}")
+    try:
+        trajectory = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise TrajectoryError(
+            f"{path} is not valid JSON ({error}); {regenerate}"
+        ) from None
+    if not isinstance(trajectory, list):
+        raise TrajectoryError(
+            f"{path} must contain a JSON list of benchmark records, "
+            f"found {type(trajectory).__name__}; {regenerate}"
+        )
+    return trajectory
+
+
+def vectorized_records() -> list:
+    """All vectorized-vs-reference records, in trajectory order.
+
+    Raises:
+        TrajectoryError: if the trajectory file exists but is unreadable.
+    """
     return [
         record
-        for record in trajectory
+        for record in load_trajectory()
         if record.get("engine") == "vectorized"
         and record.get("baseline") == "reference"
     ]
@@ -152,7 +194,23 @@ def check(measured: dict, prior: list) -> int:
 
 def main(argv=None) -> int:
     argv = sys.argv[1:] if argv is None else argv
-    records = vectorized_records()
+    try:
+        records = vectorized_records()
+    except TrajectoryError as error:
+        print(f"perf gate error: {error}")
+        return 2
+    if not records and "--require-record" in argv:
+        # CI mode: the benchmark step that runs immediately before the gate
+        # must have appended a vectorized record; its absence means that
+        # step silently failed to record, and measuring here would hide it.
+        print(
+            "perf gate error: BENCH_engine.json holds no vectorized-vs-"
+            "reference record for the gated config; the benchmark step "
+            "that precedes the gate should have appended one (run "
+            "PYTHONPATH=src python -m pytest benchmarks -x -q -s, or pass "
+            "--measure to let the gate measure and record itself)"
+        )
+        return 2
     if "--measure" in argv or not records:
         measured = measure_and_record()
         prior = records

@@ -15,7 +15,9 @@ adversaries and bounds of Bramas, Masuzawa and Tixeuil (ICDCS 2016):
 * :mod:`repro.offline` — exact offline optimum (convergecast) and schedules;
 * :mod:`repro.analysis` — bounds, growth-rate fitting, statistics;
 * :mod:`repro.sim` — trial/sweep runners and result tables;
-* :mod:`repro.experiments` — one module per paper claim (see DESIGN.md).
+* :mod:`repro.experiments` — one module per paper claim (see DESIGN.md);
+* :mod:`repro.campaign` — declarative campaign specs, sharded resumable
+  runs, content-addressed result stores and paper-figure reports.
 
 Quickstart::
 
@@ -102,13 +104,25 @@ from .sim import (
     sweep_random_adversary,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
+
+from .campaign import (  # noqa: E402  (needs __version__ for store manifests)
+    CampaignReport,
+    CampaignSpec,
+    CampaignStore,
+    build_campaign_report,
+    load_campaign_spec,
+    run_campaign,
+)
 
 __all__ = [
     "AdaptiveAdversary",
     "Adversary",
     "AggregationSchedule",
     "BodyAreaNetworkTrace",
+    "CampaignReport",
+    "CampaignSpec",
+    "CampaignStore",
     "CoinFlipGathering",
     "CommittedBlockAdversary",
     "CommunityAdversary",
@@ -147,16 +161,19 @@ __all__ = [
     "VehicularGridTrace",
     "Waiting",
     "WaitingGreedy",
+    "build_campaign_report",
     "build_convergecast_schedule",
     "cost_of_duration",
     "cost_of_result",
     "foremost_arrival_times",
     "is_optimal",
+    "load_campaign_spec",
     "make_adversary",
     "opt",
     "optimal_tau",
     "registry",
     "run_algorithm",
+    "run_campaign",
     "run_random_trial",
     "sweep_adversary_batched",
     "sweep_random_adversary",

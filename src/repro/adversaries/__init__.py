@@ -1,4 +1,21 @@
-"""Adversary models: oblivious, online adaptive, randomized, and mobility."""
+"""Adversary models: oblivious, online adaptive, randomized, and mobility.
+
+Role: everything that *chooses interactions* lives here — the
+impossibility constructions of Theorems 1–3, eventually-periodic
+oblivious sequences, and the committed families (uniform, zipf, hub,
+waypoint, community, trace replay) catalogued in ``docs/scenarios.md``
+and named through :mod:`repro.adversaries.factory`.
+
+Invariants:
+
+* *Committed* adversaries fix their future as a pure function of
+  ``(nodes, seed)`` — independent of the algorithm's decisions and of the
+  query pattern (chunked ``draw_block`` commitment), which is what makes
+  the ``meetTime``/``future`` oracles, batched engines and campaign
+  resumes exact.
+* *Adaptive* adversaries may read the network state, but only through its
+  read-only query methods; they support no future-looking oracles.
+"""
 
 from .base import Adversary, AdaptiveAdversary, EventuallyPeriodicAdversary
 from .committed import COMMIT_CHUNK, CommittedBlockAdversary

@@ -1,4 +1,14 @@
-"""Bound functions, growth-rate fitting and statistics for the experiments."""
+"""Bound functions, growth-rate fitting and statistics for the experiments.
+
+Role: turn raw trial measurements into verdicts — sample summaries and
+concentration checks (:mod:`repro.analysis.statistics`), power-law
+exponent fits against the paper's asymptotic bounds
+(:mod:`repro.analysis.fitting`), and the bound functions themselves
+(:mod:`repro.analysis.bounds`).  Consumers: the experiment modules
+(E7–E16 verdicts) and the campaign report layer
+(:mod:`repro.campaign.report`), which recomputes the same summaries and
+fits from stored campaign shards.
+"""
 
 from .bounds import (
     BOUNDS,

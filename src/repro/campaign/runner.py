@@ -1,0 +1,193 @@
+"""Sharded, resumable campaign execution.
+
+The runner decomposes a :class:`~repro.campaign.spec.CampaignSpec` into its
+sweep cells, runs each cell through the existing batched sweep machinery
+(:func:`repro.sim.batch.run_sweep_cell`, distributed over worker processes
+by :func:`repro.sim.parallel.run_sweep_cells`), and checkpoints every
+completed cell to a :class:`~repro.campaign.store.CampaignStore` before
+starting the next one.
+
+Resume semantics:
+
+* On start the runner verifies every cell already in the store
+  (:meth:`CampaignStore.verify_cell`) and **skips the proven ones** — an
+  interrupted campaign continues where it stopped, paying only for the
+  cells it lost.
+* Corrupt cells (shard/digest mismatch) are re-executed, not trusted —
+  the store self-heals.
+* Because every trial's seed derives from ``(master_seed, experiment,
+  algorithm, n, trial)`` alone, a resumed campaign writes **byte-identical
+  shards** to a fresh straight-through run, regardless of the engine or
+  worker count used for either leg (``E24`` and
+  ``tests/test_campaign_resume.py`` assert exactly this).
+* ``max_cells`` caps how many pending cells one invocation executes — the
+  hook the kill-and-resume tests use to simulate an interruption
+  deterministically.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional
+
+from ..sim.parallel import run_sweep_cells
+from .spec import CampaignCell, CampaignSpec, algorithm_factory_for
+from .store import CampaignStore
+
+__all__ = ["CampaignRunSummary", "campaign_status", "default_store_dir", "run_campaign"]
+
+
+@dataclass
+class CampaignRunSummary:
+    """Outcome of one ``run_campaign`` invocation."""
+
+    campaign: str
+    spec_hash: str
+    store: str
+    engine: str
+    total_cells: int
+    skipped: int
+    executed: int
+    repaired: int
+    remaining: int
+    elapsed_seconds: float
+    executed_cells: List[str] = field(default_factory=list)
+
+    @property
+    def complete(self) -> bool:
+        """True when every cell of the campaign is checkpointed."""
+        return self.remaining == 0
+
+    def to_text(self) -> str:
+        state = "complete" if self.complete else f"{self.remaining} cells remaining"
+        return (
+            f"campaign {self.campaign!r} [{self.spec_hash[:12]}] -> {self.store}\n"
+            f"  engine={self.engine} cells={self.total_cells} "
+            f"skipped={self.skipped} executed={self.executed} "
+            f"(repaired={self.repaired}) in {self.elapsed_seconds:.2f}s — {state}"
+        )
+
+
+def default_store_dir(spec: CampaignSpec, base: "str | Path" = "campaigns") -> Path:
+    """The conventional store location for a spec: ``campaigns/<name>``."""
+    return Path(base) / spec.name
+
+
+def _cell_kwargs(spec: CampaignSpec, cell: CampaignCell, engine: str) -> Dict[str, Any]:
+    """The :func:`repro.sim.batch.run_sweep_cell` arguments of one cell."""
+    return {
+        "algorithm_factory": algorithm_factory_for(cell.algorithm),
+        "n": cell.n,
+        "trials": spec.trials,
+        "master_seed": spec.master_seed,
+        "experiment": spec.experiment,
+        "engine": engine,
+        "adversary": cell.adversary,
+        "adversary_params": spec.params_for(cell.adversary) or None,
+        "block_size": spec.block_size,
+    }
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    store_dir: "str | Path",
+    engine: Optional[str] = None,
+    workers: int = 1,
+    max_cells: Optional[int] = None,
+    block_size: Optional[int] = None,
+    echo: Optional[Callable[[str], None]] = None,
+) -> CampaignRunSummary:
+    """Run (or resume) a campaign into ``store_dir``.
+
+    Args:
+        spec: the validated campaign spec.
+        engine: run-time engine override (default: the spec's engine);
+            results are engine-invariant, so resuming under a different
+            engine is safe and checkpoint-compatible.
+        workers: processes for cell-level fan-out (cells are independent).
+        max_cells: execute at most this many pending cells, then stop —
+            the deterministic "interrupt" used by the resume tests.
+        block_size: run-time committed-window override.
+        echo: optional progress sink (e.g. ``print``); called once per cell.
+
+    Raises:
+        CampaignStoreMismatch: if ``store_dir`` holds a different campaign.
+        ValueError: if ``workers < 1`` or ``max_cells < 0``.
+    """
+    if max_cells is not None and max_cells < 0:
+        raise ValueError(f"max_cells must be >= 0, got {max_cells}")
+    spec = spec.with_engine(engine, block_size)
+    started = time.perf_counter()
+    store = CampaignStore(store_dir)
+    store.initialize(spec)
+
+    statuses = store.verify(spec)
+    pending = [s.cell for s in statuses if s.state != "complete"]
+    repaired_keys = {s.cell.key for s in statuses if s.state == "corrupt"}
+    skipped = len(statuses) - len(pending)
+    to_run = pending if max_cells is None else pending[:max_cells]
+
+    executed: List[str] = []
+    repaired = 0
+    kwargs = [_cell_kwargs(spec, cell, spec.engine) for cell in to_run]
+    cell_results = run_sweep_cells(kwargs, workers=workers, with_timing=True)
+    for cell, (metrics, elapsed) in zip(to_run, cell_results):
+        store.write_cell(cell, metrics, spec.engine, elapsed)
+        executed.append(cell.key)
+        if cell.key in repaired_keys:
+            repaired += 1
+        if echo is not None:
+            echo(f"  cell {cell.label()} [{cell.key}] checkpointed")
+
+    return CampaignRunSummary(
+        campaign=spec.name,
+        spec_hash=spec.spec_hash(),
+        store=str(store_dir),
+        engine=spec.engine,
+        total_cells=len(statuses),
+        skipped=skipped,
+        executed=len(executed),
+        repaired=repaired,
+        remaining=len(pending) - len(executed),
+        elapsed_seconds=time.perf_counter() - started,
+        executed_cells=executed,
+    )
+
+
+def campaign_status(store_dir: "str | Path") -> str:
+    """Human-readable status of a campaign store (for ``campaign status``).
+
+    Reconstructs the spec from the manifest echo, verifies every cell, and
+    reports complete/pending/corrupt counts plus per-cell lines.
+
+    Raises:
+        CampaignStoreError: if the directory is not a campaign store.
+    """
+    from .spec import spec_from_dict
+
+    store = CampaignStore(store_dir)
+    manifest = store.read_manifest()
+    spec_echo = dict(manifest.get("spec", {}))
+    spec = spec_from_dict(spec_echo)
+    statuses = store.verify(spec)
+    by_state: Dict[str, int] = {"complete": 0, "pending": 0, "corrupt": 0}
+    lines = [
+        f"campaign {manifest.get('campaign')!r} "
+        f"[{manifest.get('spec_hash', '')[:12]}] at {store.directory}",
+        f"  repro version {manifest.get('repro_version')}, "
+        f"{len(statuses)} cells",
+    ]
+    for status in statuses:
+        by_state[status.state] = by_state.get(status.state, 0) + 1
+        suffix = f" ({status.detail})" if status.detail else ""
+        lines.append(
+            f"  [{status.state:8s}] {status.cell.label()} "
+            f"{status.cell.key}{suffix}"
+        )
+    lines.append(
+        f"  complete={by_state['complete']} pending={by_state['pending']} "
+        f"corrupt={by_state['corrupt']}"
+    )
+    return "\n".join(lines)

@@ -17,6 +17,18 @@ Usage examples::
     # fast-engine n sweep across 4 worker processes
     python -m repro sweep gathering --ns 50,100,200 --trials 20 \
         --engine fast --workers 4
+
+    # declarative campaign: run (resumable), inspect, report
+    python -m repro campaign run examples/campaign_paper.toml --workers 4
+    python -m repro campaign status campaigns/paper-grid
+    python -m repro campaign report campaigns/paper-grid --output report.md
+
+Knob composition (details in ``docs/engines.md``): ``--engine`` selects the
+executor everywhere it appears; ``--workers`` fans trials (or, with
+``--batched``, whole sweep cells) over processes; ``--block-size`` tunes
+the batched engines' committed window and therefore requires ``--batched``
+on the sweep subcommand.  Every combination produces identical results —
+the knobs trade wall-clock time only.
 """
 
 from __future__ import annotations
@@ -64,8 +76,10 @@ def build_parser() -> argparse.ArgumentParser:
             "--workers",
             type=int,
             default=1,
-            help="worker processes for trial sweeps; results are identical "
-            "for any worker count (default: 1)",
+            help="worker processes for trial sweeps; composes with --engine "
+            "and (on sweep/campaign) with --batched, which switches the "
+            "task unit from single trials to whole cells; results are "
+            "identical for any worker count (default: 1)",
         )
 
     def add_adversary_option(target: argparse.ArgumentParser) -> None:
@@ -142,8 +156,83 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="committed-future window consumed per batched-engine step "
-        "(tuning knob for --engine fast/vectorized; default: the engine's "
-        "benchmarked default)",
+        "(tuning knob for --engine fast/vectorized; only effective "
+        "together with --batched; default: the engine's benchmarked "
+        "default)",
+    )
+
+    campaign_parser = subparsers.add_parser(
+        "campaign",
+        help="declarative experiment campaigns: sharded resumable runs "
+        "with a checkpointed on-disk store and paper-figure reports",
+        description="Run, inspect and report declarative campaigns "
+        "(docs/campaigns.md).  A campaign spec (TOML/JSON) names "
+        "algorithms x adversary families x n x trials; 'run' executes it "
+        "cell by cell with checkpointing and resumes interrupted "
+        "campaigns; 'status' verifies the store; 'report' aggregates it "
+        "into the paper's comparison tables and figures.",
+    )
+    campaign_sub = campaign_parser.add_subparsers(dest="campaign_command", required=True)
+
+    campaign_run = campaign_sub.add_parser(
+        "run",
+        help="run (or resume) a campaign spec; completed cells are "
+        "skipped, so re-running after an interrupt finishes the grid",
+    )
+    campaign_run.add_argument("spec", help="path to a .toml/.json campaign spec")
+    campaign_run.add_argument(
+        "--store",
+        default=None,
+        help="store directory (default: campaigns/<campaign name>)",
+    )
+    campaign_run.add_argument(
+        "--engine",
+        choices=sorted(ENGINES),
+        default=None,
+        help="override the spec's engine for this run; results are "
+        "engine-invariant, so a campaign may be resumed under a "
+        "different engine (default: the spec's engine)",
+    )
+    add_workers_option(campaign_run)
+    campaign_run.add_argument(
+        "--max-cells",
+        type=int,
+        default=None,
+        help="execute at most this many pending cells, then stop (the "
+        "store stays resumable; mainly for smoke tests and budgeted runs)",
+    )
+    campaign_run.add_argument(
+        "--block-size",
+        type=int,
+        default=None,
+        help="override the spec's committed-window block size for the "
+        "batched engines (campaign cells always run batched)",
+    )
+
+    campaign_status_parser = campaign_sub.add_parser(
+        "status",
+        help="verify a campaign store: complete / pending / corrupt cells",
+    )
+    campaign_status_parser.add_argument(
+        "target", help="store directory, or a spec file (resolves its default store)"
+    )
+
+    campaign_report = campaign_sub.add_parser(
+        "report",
+        help="aggregate a campaign store into markdown tables "
+        "(+ figures when matplotlib is available)",
+    )
+    campaign_report.add_argument(
+        "target", help="store directory, or a spec file (resolves its default store)"
+    )
+    campaign_report.add_argument(
+        "--output", default=None, help="write the markdown report to this file"
+    )
+    campaign_report.add_argument(
+        "--figures",
+        default=None,
+        help="also write duration-vs-n figures into this directory "
+        "(skipped with a note when matplotlib is not installed)",
     )
     return parser
 
@@ -239,7 +328,81 @@ def main(argv: Optional[List[str]] = None) -> int:
         _emit(sweep.to_table().to_markdown(), args.output)
         return 0
 
+    if args.command == "campaign":
+        return _campaign_main(parser, args)
+
     parser.error(f"unknown command {args.command!r}")
+    return 2
+
+
+def _campaign_store_dir(target: str):
+    """Resolve a campaign CLI target: a store directory or a spec file."""
+    from pathlib import Path
+
+    from .campaign import default_store_dir, load_campaign_spec
+
+    path = Path(target)
+    if path.suffix.lower() in (".toml", ".json") and path.is_file():
+        return default_store_dir(load_campaign_spec(path))
+    return path
+
+
+def _campaign_main(parser: argparse.ArgumentParser, args) -> int:
+    """Dispatch the ``campaign run|status|report`` subcommands."""
+    from .campaign import (
+        CampaignSpecError,
+        CampaignStoreError,
+        build_campaign_report,
+        campaign_status,
+        default_store_dir,
+        load_campaign_spec,
+        run_campaign,
+        write_campaign_figures,
+    )
+
+    try:
+        if args.campaign_command == "run":
+            spec = load_campaign_spec(args.spec)
+            store_dir = args.store or default_store_dir(spec)
+            summary = run_campaign(
+                spec,
+                store_dir,
+                engine=args.engine,
+                workers=args.workers,
+                max_cells=args.max_cells,
+                block_size=args.block_size,
+                echo=lambda line: print(line, file=sys.stderr),
+            )
+            print(summary.to_text())
+            return 0 if summary.complete else 3
+
+        if args.campaign_command == "status":
+            print(campaign_status(_campaign_store_dir(args.target)))
+            return 0
+
+        if args.campaign_command == "report":
+            store_dir = _campaign_store_dir(args.target)
+            report = build_campaign_report(store_dir)
+            if args.figures is not None:
+                figures = write_campaign_figures(store_dir, args.figures)
+                if figures is None:
+                    report.notes.append(
+                        "figures skipped: matplotlib is not installed"
+                    )
+                elif not figures:
+                    report.notes.append(
+                        "no figures written: the store holds no complete "
+                        "cells with terminated trials yet"
+                    )
+                else:
+                    report.notes.append(
+                        "figures: " + ", ".join(str(path) for path in figures)
+                    )
+            _emit(report.to_markdown(), args.output)
+            return 0
+    except (CampaignSpecError, CampaignStoreError) as error:
+        parser.error(str(error))
+    parser.error(f"unknown campaign command {args.campaign_command!r}")
     return 2
 
 

@@ -6,6 +6,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List
 
 from ..sim.results import ExperimentReport
+from .campaign import run_campaign_roundtrip
 from .comparison import run_comparison
 from .extensions import (
     run_nonuniform_adversary,
@@ -65,6 +66,7 @@ EXPERIMENTS: Dict[str, ExperimentSpec] = {
         ExperimentSpec("E21", "Extension: mobility adversaries (waypoint, community)", run_mobility_adversaries),
         ExperimentSpec("E22", "Extension: contact-trace replay (committed protocol)", run_trace_replay),
         ExperimentSpec("E23", "Extension: trial-vectorized engine equivalence (+ speedup)", run_vectorized_engine_check),
+        ExperimentSpec("E24", "Campaign round trip (fresh run ≡ interrupted + resumed)", run_campaign_roundtrip),
     )
 }
 

@@ -1,4 +1,17 @@
-"""Experiment harness: seeding, trial runners, sweeps and result tables."""
+"""Experiment harness: seeding, trial runners, sweeps and result tables.
+
+Role: the measurement layer between the engines and the experiments —
+derive seeds, assemble adversaries + knowledge oracles for a trial, run
+``ns × trials`` sweeps (serially, over worker processes, or as whole
+batched cells), and collect :class:`~repro.sim.metrics.TrialMetrics`
+into result tables.
+
+Invariant: every trial's seed derives from ``(master_seed, experiment,
+algorithm, n, trial)`` via :func:`~repro.sim.seeding.derive_seed`, so
+all execution strategies — serial, ``workers=N``, ``batched=True``, any
+engine — reproduce each other bit for bit, and everything measured above
+this layer is reproducible from ``(master_seed, experiment)`` alone.
+"""
 
 from .metrics import TrialMetrics, durations, mean_duration, termination_rate
 
@@ -7,7 +20,7 @@ from .metrics import TrialMetrics, durations, mean_duration, termination_rate
 # single public API surface.  The batched variant runs whole sweep cells in
 # one engine invocation.
 from .batch import run_sweep_cell, sweep_adversary_batched
-from .parallel import sweep_random_adversary
+from .parallel import run_sweep_cells, sweep_random_adversary
 from .results import ExperimentReport, ResultTable
 from .runner import (
     ENGINES,
@@ -45,6 +58,7 @@ __all__ = [
     "resolve_engine",
     "run_random_trial",
     "run_sweep_cell",
+    "run_sweep_cells",
     "run_sweep_trial",
     "sweep_adversary_batched",
     "sweep_random_adversary",

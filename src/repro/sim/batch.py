@@ -18,6 +18,12 @@ differential tests in ``tests/test_differential_adversaries.py`` assert
 this for every adversary family).  With ``engine="reference"`` the cell
 falls back to per-trial reference executors — useful as the oracle side of
 that differential.
+
+The cell is also the campaign layer's unit of execution and checkpointing:
+:mod:`repro.campaign` decomposes a declarative spec into
+:func:`run_sweep_cell` invocations (heterogeneous cells fan out over
+workers via :func:`repro.sim.parallel.run_sweep_cells`) and persists each
+completed cell as one store shard.
 """
 
 from __future__ import annotations

@@ -19,6 +19,11 @@ Two task granularities are supported:
   vectorized cells* is the intended scale-out shape of the trial-vectorized
   engine.
 
+For grids whose cells differ in more than ``n`` (different algorithms and
+adversary families per cell, i.e. a campaign), :func:`run_sweep_cells`
+maps arbitrary per-cell ``run_sweep_cell`` configurations over the same
+pool, yielding results cell by cell so callers can checkpoint as they go.
+
 Workers are started with the ``fork`` start method (the configuration,
 including lambda algorithm factories, is inherited by the child processes
 rather than pickled); on platforms without ``fork`` the sweep transparently
@@ -28,7 +33,7 @@ falls back to the serial runner.
 from __future__ import annotations
 
 import multiprocessing
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, Iterator, List, Optional, Sequence, Tuple
 
 from ..core.algorithm import DODAAlgorithm
 from ..core.data import NodeId
@@ -99,6 +104,78 @@ def _fork_context() -> Optional[multiprocessing.context.BaseContext]:
         return multiprocessing.get_context("fork")
     except ValueError:  # pragma: no cover - non-POSIX platforms
         return None
+
+
+def _run_hetero_cell_task(index: int) -> Tuple[List[TrialMetrics], float]:
+    """Run one heterogeneous cell (by task index) inside a worker process.
+
+    Returns ``(metrics, elapsed_seconds)``; the elapsed time is measured
+    around the cell's own execution, so it stays accurate when several
+    cells run concurrently.
+    """
+    import time
+
+    from .batch import run_sweep_cell
+
+    kwargs = _WORKER_CONFIG["cells"][index]
+    start = time.perf_counter()
+    metrics = run_sweep_cell(**kwargs)
+    return metrics, time.perf_counter() - start
+
+
+def run_sweep_cells(
+    cell_kwargs: Sequence[dict], workers: int = 1, with_timing: bool = False
+) -> "Iterator":
+    """Run *heterogeneous* sweep cells, optionally over a process pool.
+
+    ``cell_kwargs`` is a sequence of keyword-argument dicts for
+    :func:`repro.sim.batch.run_sweep_cell` — unlike the sweep entry points
+    above, each cell may name a different algorithm factory and adversary
+    family, which is exactly the shape of a campaign grid
+    (:mod:`repro.campaign`).  Results are yielded **in task order as each
+    cell completes** (``imap`` under the hood), so a caller can checkpoint
+    cell by cell; an interrupt mid-iteration loses only cells not yet
+    yielded.  Per-cell results are identical for every ``workers`` value
+    (each cell re-derives its trials from seeds alone).
+
+    Yields per-cell ``List[TrialMetrics]``, or ``(metrics,
+    elapsed_seconds)`` pairs when ``with_timing`` is true — the elapsed
+    time is measured where the cell actually ran, so it is meaningful
+    even when cells execute concurrently.
+
+    Raises:
+        ValueError: if ``workers < 1`` (raised at call time, before any
+            cell runs — the iterator itself never raises it).
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    return _iter_sweep_cells(list(cell_kwargs), workers, with_timing)
+
+
+def _iter_sweep_cells(
+    cell_kwargs: List[dict], workers: int, with_timing: bool
+) -> "Iterator":
+    import time
+
+    from .batch import run_sweep_cell
+
+    context = _fork_context()
+    if workers == 1 or context is None or len(cell_kwargs) <= 1:
+        for kwargs in cell_kwargs:
+            start = time.perf_counter()
+            metrics = run_sweep_cell(**kwargs)
+            elapsed = time.perf_counter() - start
+            yield (metrics, elapsed) if with_timing else metrics
+        return
+    config = {"cells": cell_kwargs}
+    processes = min(workers, len(cell_kwargs))
+    with context.Pool(
+        processes=processes, initializer=_init_worker, initargs=(config,)
+    ) as pool:
+        for metrics, elapsed in pool.imap(
+            _run_hetero_cell_task, range(len(cell_kwargs)), 1
+        ):
+            yield (metrics, elapsed) if with_timing else metrics
 
 
 def sweep_random_adversary(

@@ -1,0 +1,138 @@
+#!/usr/bin/env python
+"""Documentation checker: resolvable links, parseable code blocks.
+
+Run from anywhere::
+
+    python tools/check_docs.py
+
+Checks, over the repository's Markdown tree (top-level ``README.md``,
+``docs/*.md``, ``src/repro/README.md``):
+
+* every intra-repo Markdown link ``[text](path)`` resolves to an existing
+  file or directory (``http(s)://``, ``mailto:`` and ``#anchor`` links are
+  skipped);
+* every fenced code block tagged ``python`` compiles
+  (``compile(..., "exec")``) and every block tagged ``bash`` passes
+  ``bash -n`` — documentation examples must at least parse.
+
+Exit code 0 when clean; 1 with one line per problem otherwise.  The same
+checks run in the test suite (``tests/test_docs.py``) and in the CI
+``docs`` job.
+"""
+
+from __future__ import annotations
+
+import re
+import subprocess
+import sys
+from pathlib import Path
+from typing import Iterator, List, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: ``[text](target)`` — target split off any " title" suffix later.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)]+)\)")
+FENCE_RE = re.compile(r"^```([A-Za-z0-9_+-]*)\s*$")
+_SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def doc_files(root: Path = REPO_ROOT) -> List[Path]:
+    """The Markdown files under the documentation contract."""
+    files = [root / "README.md", root / "src" / "repro" / "README.md"]
+    files.extend(sorted((root / "docs").glob("*.md")))
+    return [path for path in files if path.exists()]
+
+
+def check_links(path: Path) -> List[str]:
+    """Problems with the intra-repo links of one Markdown file."""
+    problems: List[str] = []
+    text = path.read_text(encoding="utf-8")
+    for match in LINK_RE.finditer(text):
+        target = match.group(1).strip().split(" ")[0]
+        if target.startswith(_SKIP_PREFIXES):
+            continue
+        target = target.split("#")[0]
+        if not target:
+            continue
+        resolved = (path.parent / target).resolve()
+        if not resolved.exists():
+            line = text[: match.start()].count("\n") + 1
+            problems.append(
+                f"{path.relative_to(REPO_ROOT)}:{line}: broken link "
+                f"-> {target}"
+            )
+    return problems
+
+
+def iter_code_blocks(text: str) -> Iterator[Tuple[str, str, int]]:
+    """Yield ``(language, code, first_line_number)`` for each fenced block."""
+    language = None
+    block: List[str] = []
+    start = 0
+    for number, line in enumerate(text.splitlines(), start=1):
+        fence = FENCE_RE.match(line.strip())
+        if fence and language is None:
+            language = fence.group(1).lower()
+            block = []
+            start = number + 1
+        elif line.strip() == "```" and language is not None:
+            yield language, "\n".join(block), start
+            language = None
+        elif language is not None:
+            block.append(line)
+
+
+def check_code_blocks(path: Path) -> List[str]:
+    """Problems with the tagged code blocks of one Markdown file."""
+    problems: List[str] = []
+    for language, code, line in iter_code_blocks(path.read_text(encoding="utf-8")):
+        location = f"{path.relative_to(REPO_ROOT)}:{line}"
+        if language == "python":
+            try:
+                compile(code, str(path), "exec")
+            except SyntaxError as error:
+                problems.append(
+                    f"{location}: python block does not compile: {error}"
+                )
+        elif language == "bash":
+            result = subprocess.run(
+                ["bash", "-n"], input=code, text=True, capture_output=True
+            )
+            if result.returncode != 0:
+                detail = (result.stderr or "").strip().splitlines()
+                problems.append(
+                    f"{location}: bash block does not parse: "
+                    f"{detail[0] if detail else 'bash -n failed'}"
+                )
+    return problems
+
+
+def main() -> int:
+    problems: List[str] = []
+    files = doc_files()
+    if not files:
+        print("no documentation files found — is the repo layout intact?")
+        return 1
+    for path in files:
+        problems.extend(check_links(path))
+        problems.extend(check_code_blocks(path))
+    for problem in problems:
+        print(problem)
+    if problems:
+        print(f"{len(problems)} documentation problem(s)")
+        return 1
+    blocks = sum(
+        1
+        for path in files
+        for language, _, _ in iter_code_blocks(path.read_text(encoding="utf-8"))
+        if language in ("python", "bash")
+    )
+    print(
+        f"docs OK: {len(files)} files, all links resolve, "
+        f"{blocks} python/bash blocks parse"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
