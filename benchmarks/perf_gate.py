@@ -1,4 +1,4 @@
-"""CI perf-regression gate for the trial-vectorized engine.
+"""CI perf-regression gate for the trial-vectorized engine and opt kernel.
 
 Compares the **latest** vectorized-vs-reference record of the
 ``BENCH_engine.json`` trajectory — in CI that is the record the preceding
@@ -37,6 +37,12 @@ preceding benchmark step silently failed to record, which the gate must
 surface rather than paper over.  A trajectory file that exists but is
 empty or unparseable always fails with a clear message (exit code 2),
 never a traceback.
+
+The gate also covers the competitive-ratio subsystem's offline-optimum
+kernel (:func:`opt_kernel_records`, appended by
+``benchmarks/test_bench_opt.py``): ``--require-record`` demands that a
+``ratio_kernel`` record exists and its recorded speedup stays above the
+subsystem's acceptance floor (>= 10x vs per-sequence Python).
 
 Run from the repository root::
 
@@ -109,6 +115,59 @@ def vectorized_records() -> list:
         if record.get("engine") == "vectorized"
         and record.get("baseline") == "reference"
     ]
+
+
+def opt_kernel_records() -> list:
+    """All ratio-kernel-vs-per-sequence-Python records, in trajectory order.
+
+    These are appended by ``benchmarks/test_bench_opt.py`` (the offline-
+    optimum kernel of the competitive-ratio subsystem).
+
+    Raises:
+        TrajectoryError: if the trajectory file exists but is unreadable.
+    """
+    return [
+        record
+        for record in load_trajectory()
+        if record.get("engine") == "ratio_kernel"
+        and record.get("baseline") == "offline_python"
+    ]
+
+
+def check_opt_kernel(records: list, require_record: bool) -> int:
+    """Gate the opt-kernel record: presence (CI mode) and hard floor.
+
+    The opt kernel has a single acceptance floor (>= 10x, the same one
+    ``test_bench_opt.py`` asserts) rather than a ratchet: its wall-clock
+    is dominated by one numpy sweep, so the two-tier host tolerance of the
+    engine gate adds nothing.  Returns the exit-code contribution (0 ok,
+    1 regression, 2 missing required record).
+    """
+    if not records:
+        if require_record:
+            print(
+                "perf gate error: BENCH_engine.json holds no ratio_kernel-"
+                "vs-offline_python record; the benchmark step that precedes "
+                "the gate should have appended one (run PYTHONPATH=src "
+                "python -m pytest benchmarks/test_bench_opt.py -x -q -s)"
+            )
+            return 2
+        print("no opt-kernel record yet; opt gate passes (bootstrap)")
+        return 0
+    from test_bench_opt import MIN_OPT_KERNEL_SPEEDUP
+
+    latest = records[-1]["speedup"]
+    print(
+        f"latest recorded opt-kernel speedup: {latest:.1f}x vs per-sequence "
+        f"python (floor {MIN_OPT_KERNEL_SPEEDUP:.0f}x)"
+    )
+    if latest < MIN_OPT_KERNEL_SPEEDUP:
+        print(
+            f"FAIL: opt-kernel speedup {latest:.1f}x below the "
+            f"{MIN_OPT_KERNEL_SPEEDUP:.0f}x floor"
+        )
+        return 1
+    return 0
 
 
 def measure_and_record() -> dict:
@@ -196,6 +255,7 @@ def main(argv=None) -> int:
     argv = sys.argv[1:] if argv is None else argv
     try:
         records = vectorized_records()
+        opt_records = opt_kernel_records()
     except TrajectoryError as error:
         print(f"perf gate error: {error}")
         return 2
@@ -211,6 +271,9 @@ def main(argv=None) -> int:
             "--measure to let the gate measure and record itself)"
         )
         return 2
+    opt_exit = check_opt_kernel(opt_records, "--require-record" in argv)
+    if opt_exit:
+        return opt_exit
     if "--measure" in argv or not records:
         measured = measure_and_record()
         prior = records

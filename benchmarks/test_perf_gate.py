@@ -32,6 +32,15 @@ def vectorized_record(speedup, host="ci"):
     }
 
 
+def opt_record(speedup, host="ci"):
+    return {
+        "engine": "ratio_kernel",
+        "baseline": "offline_python",
+        "speedup": speedup,
+        "host": host,
+    }
+
+
 class TestTrajectoryLoading:
     def test_missing_file_is_bootstrap_not_error(self, gate_dir):
         assert perf_gate.vectorized_records() == []
@@ -86,13 +95,14 @@ class TestMainExitCodes:
         assert "no vectorized-vs-reference record" in capsys.readouterr().out
 
     def test_single_record_bootstrap_passes(self, gate_dir, capsys):
-        write_trajectory(gate_dir, [vectorized_record(32.0)])
+        write_trajectory(gate_dir, [vectorized_record(32.0), opt_record(20.0)])
         assert perf_gate.main(["--require-record"]) == 0
         assert "bootstrap" in capsys.readouterr().out
 
     def test_healthy_latest_record_passes(self, gate_dir, capsys):
         write_trajectory(gate_dir, [
             vectorized_record(32.0), vectorized_record(31.0),
+            opt_record(20.0),
         ])
         assert perf_gate.main(["--require-record"]) == 0
         assert "PASS" in capsys.readouterr().out
@@ -103,3 +113,46 @@ class TestMainExitCodes:
         ])
         assert perf_gate.main([]) == 1
         assert "FAIL" in capsys.readouterr().out
+
+
+class TestOptKernelGate:
+    """The opt-kernel record is covered by --require-record and a floor."""
+
+    def test_records_filter(self, gate_dir):
+        write_trajectory(gate_dir, [
+            vectorized_record(32.0), opt_record(20.0), opt_record(18.0),
+        ])
+        records = perf_gate.opt_kernel_records()
+        assert [r["speedup"] for r in records] == [20.0, 18.0]
+
+    def test_require_record_fails_without_opt_record(self, gate_dir, capsys):
+        write_trajectory(gate_dir, [
+            vectorized_record(32.0), vectorized_record(31.0),
+        ])
+        assert perf_gate.main(["--require-record"]) == 2
+        out = capsys.readouterr().out
+        assert "ratio_kernel" in out and "test_bench_opt" in out
+
+    def test_missing_opt_record_is_bootstrap_without_require(self, gate_dir, capsys):
+        write_trajectory(gate_dir, [
+            vectorized_record(32.0), vectorized_record(31.0),
+        ])
+        assert perf_gate.main([]) == 0
+        assert "opt-kernel record yet" in capsys.readouterr().out
+
+    def test_opt_record_below_floor_fails(self, gate_dir, capsys):
+        write_trajectory(gate_dir, [
+            vectorized_record(32.0), vectorized_record(31.0),
+            opt_record(4.0),
+        ])
+        assert perf_gate.main(["--require-record"]) == 1
+        assert "opt-kernel speedup" in capsys.readouterr().out
+
+    def test_healthy_opt_record_reported(self, gate_dir, capsys):
+        write_trajectory(gate_dir, [
+            vectorized_record(32.0), vectorized_record(31.0),
+            opt_record(20.3),
+        ])
+        assert perf_gate.main(["--require-record"]) == 0
+        out = capsys.readouterr().out
+        assert "opt-kernel speedup: 20.3x" in out

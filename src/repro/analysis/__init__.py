@@ -31,6 +31,12 @@ from .fitting import (
     fit_power_law,
     ratio_drift,
 )
+from .ratio import (
+    RatioPoint,
+    fit_ratio_trend,
+    ratio_points,
+    summarize_finite_ratios,
+)
 from .statistics import (
     SampleSummary,
     chebyshev_deviation_bound,
@@ -44,6 +50,7 @@ __all__ = [
     "BOUNDS",
     "BoundComparison",
     "PowerLawFit",
+    "RatioPoint",
     "SampleSummary",
     "broadcast_expected_exact",
     "chebyshev_deviation_bound",
@@ -51,6 +58,7 @@ __all__ = [
     "crossover_point",
     "fit_exponent_against_bound",
     "fit_power_law",
+    "fit_ratio_trend",
     "fraction_within",
     "gathering_expected_exact",
     "geometric_sweep",
@@ -62,6 +70,8 @@ __all__ = [
     "n_squared_log_n",
     "n_three_halves_sqrt_log_n",
     "ratio_drift",
+    "ratio_points",
+    "summarize_finite_ratios",
     "summarize_sample",
     "waiting_expected_exact",
 ]

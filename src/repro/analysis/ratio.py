@@ -1,0 +1,94 @@
+"""Competitive-ratio aggregation helpers.
+
+Turns per-trial ``competitive_ratio`` values (captured by the engines'
+``capture_opt`` path, see :mod:`repro.ratio`) into the summaries the sweep
+tables, campaign reports and experiment E25 all share: per-``n`` sample
+summaries with confidence intervals, and a power-law fit of the mean ratio
+against ``n`` (``ratio ≈ c · n^alpha``) that quantifies the paper's
+ratio-vs-``n`` trend per algorithm × adversary family.
+
+Only *finite* ratios enter the summaries — ``inf`` (online run did not
+terminate) and undefined ratios (offline baseline unreachable) are counted
+separately so a report can state how many trials were excluded instead of
+silently skewing the mean.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .fitting import PowerLawFit, fit_power_law
+from .statistics import SampleSummary, summarize_sample
+
+__all__ = ["RatioPoint", "fit_ratio_trend", "ratio_points", "summarize_finite_ratios"]
+
+
+@dataclass(frozen=True)
+class RatioPoint:
+    """Ratio statistics of one ``(algorithm, adversary, n)`` cell."""
+
+    n: int
+    captured: int
+    finite: int
+    summary: Optional[SampleSummary]
+
+    @property
+    def mean(self) -> float:
+        """Mean finite ratio (``inf`` when no trial has a finite ratio)."""
+        return self.summary.mean if self.summary else math.inf
+
+    def confidence_interval(self, z: float = 1.96) -> Tuple[float, float]:
+        """Normal-approximation CI of the mean finite ratio."""
+        if self.summary is None:
+            return (math.inf, math.inf)
+        return self.summary.confidence_interval(z)
+
+
+def summarize_finite_ratios(values: Sequence[Optional[float]]) -> Optional[SampleSummary]:
+    """Summary of the finite entries of a ratio sample (None when empty)."""
+    finite = [
+        float(value)
+        for value in values
+        if value is not None and math.isfinite(value)
+    ]
+    if not finite:
+        return None
+    return summarize_sample(finite)
+
+
+def ratio_points(
+    per_n: Sequence[Tuple[int, Sequence[Optional[float]]]]
+) -> List[RatioPoint]:
+    """One :class:`RatioPoint` per ``(n, ratios)`` pair, in input order."""
+    points: List[RatioPoint] = []
+    for n, values in per_n:
+        captured = [value for value in values if value is not None]
+        points.append(
+            RatioPoint(
+                n=int(n),
+                captured=len(captured),
+                finite=sum(1 for value in captured if math.isfinite(value)),
+                summary=summarize_finite_ratios(values),
+            )
+        )
+    return points
+
+
+def fit_ratio_trend(points: Sequence[RatioPoint]) -> Optional[PowerLawFit]:
+    """Power-law fit of the mean finite ratio against ``n``.
+
+    Returns None when fewer than two points carry a finite mean — a fit on
+    a single point (or on infinities) would be noise dressed as a trend.
+    """
+    usable = [
+        (point.n, point.mean)
+        for point in points
+        if point.summary is not None and point.mean > 0
+    ]
+    if len(usable) < 2:
+        return None
+    ns = [n for n, _ in usable]
+    means = [mean for _, mean in usable]
+    return fit_power_law(ns, means)

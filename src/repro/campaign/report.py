@@ -7,7 +7,11 @@ exponents via :func:`~repro.analysis.fitting.fit_power_law`), and renders:
 
 * **Markdown tables** — one per adversary family (the paper's main
   comparison: algorithms × ``n`` with termination rate, mean/std/median/p90
-  interactions), plus a scaling table of fitted power-law exponents;
+  interactions), plus a scaling table of fitted power-law exponents; for
+  ``ratio = true`` campaigns the comparison gains competitive-ratio columns
+  and each adversary additionally gets a ratio-vs-``n`` table (mean finite
+  ratio with 95% CI per ``(algorithm, n)``, via
+  :mod:`repro.analysis.ratio`) and a fitted ratio-trend table;
 * **matplotlib figures** — duration-vs-``n`` log-log curves per adversary
   family, one line per algorithm.  Figure output is gated on matplotlib
   being importable; without it the report still produces every table and
@@ -26,6 +30,7 @@ from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..analysis.fitting import fit_power_law
+from ..analysis.ratio import RatioPoint, fit_ratio_trend, summarize_finite_ratios
 from ..analysis.statistics import summarize_sample
 from ..sim.results import ResultTable
 from .spec import CampaignSpec, spec_from_dict
@@ -67,6 +72,27 @@ def _cell_durations(records: Sequence[Dict[str, Any]]) -> List[float]:
         for record in records
         if record["terminated"] and record["duration"] is not None
     ]
+
+
+def _cell_ratio_point(n: int, records: Sequence[Dict[str, Any]]) -> RatioPoint:
+    """Ratio statistics of one cell's records (ratio campaigns only).
+
+    ``captured`` counts trials that carried the offline baseline at all;
+    only *finite* ratios (terminated trial, reachable baseline) enter the
+    summary — mirroring :mod:`repro.analysis.ratio`.
+    """
+    captured = [record for record in records if "opt_cost" in record]
+    finite = [
+        float(record["competitive_ratio"])
+        for record in captured
+        if record.get("competitive_ratio") is not None
+    ]
+    return RatioPoint(
+        n=int(n),
+        captured=len(captured),
+        finite=len(finite),
+        summary=summarize_finite_ratios(finite),
+    )
 
 
 def _load_verified(store_dir: "str | Path"):
@@ -120,23 +146,40 @@ def build_campaign_report(store_dir: "str | Path") -> CampaignReport:
             "run `repro campaign run` to fill them in"
         )
 
+    # The spec flag is authoritative: records carry opt_cost iff the
+    # campaign ran with ratio capture, and ratio campaigns embed the flag
+    # in their spec hash — no need to sniff shard contents.
+    with_ratio = bool(spec.ratio)
     tables: List[ResultTable] = []
     for adversary in spec.adversaries:
+        columns = [
+            "algorithm", "n", "trials", "terminated",
+            "mean", "std", "median", "p90",
+        ]
+        if with_ratio:
+            columns += ["mean_ratio", "median_ratio", "p90_ratio"]
         table = ResultTable(
             title=f"Adversary {adversary!r}: interactions to termination",
+            columns=columns,
+        )
+        ratio_table = ResultTable(
+            title=f"Adversary {adversary!r}: competitive ratio vs n "
+            "(online duration / offline optimum)",
             columns=[
-                "algorithm", "n", "trials", "terminated",
-                "mean", "std", "median", "p90",
+                "algorithm", "n", "captured", "finite",
+                "mean_ratio", "ci95_low", "ci95_high",
             ],
         )
         scaling_rows: List[Tuple[str, List[int], List[float]]] = []
+        ratio_trend_rows: List[Tuple[str, List[RatioPoint]]] = []
         for algorithm in spec.algorithms:
             ns: List[int] = []
             means: List[float] = []
+            points: List[RatioPoint] = []
             for n, records in grid.get(adversary, {}).get(algorithm, []):
                 finished = _cell_durations(records)
                 summary = summarize_sample(finished) if finished else None
-                table.add_row(
+                row = dict(
                     algorithm=algorithm,
                     n=n,
                     trials=len(records),
@@ -150,13 +193,42 @@ def build_campaign_report(store_dir: "str | Path") -> CampaignReport:
                     median=summary.median if summary else math.inf,
                     p90=summary.p90 if summary else math.inf,
                 )
+                if with_ratio:
+                    point = _cell_ratio_point(n, records)
+                    points.append(point)
+                    low, high = point.confidence_interval()
+                    row.update(
+                        mean_ratio=(
+                            point.summary.mean if point.summary else math.inf
+                        ),
+                        median_ratio=(
+                            point.summary.median if point.summary else math.inf
+                        ),
+                        p90_ratio=(
+                            point.summary.p90 if point.summary else math.inf
+                        ),
+                    )
+                    ratio_table.add_row(
+                        algorithm=algorithm,
+                        n=n,
+                        captured=point.captured,
+                        finite=point.finite,
+                        mean_ratio=point.mean,
+                        ci95_low=low,
+                        ci95_high=high,
+                    )
+                table.add_row(**row)
                 if summary is not None:
                     ns.append(n)
                     means.append(summary.mean)
             if len(ns) >= 2 and all(m > 0 for m in means):
                 scaling_rows.append((algorithm, ns, means))
+            if with_ratio and points:
+                ratio_trend_rows.append((algorithm, points))
         if table.rows:
             tables.append(table)
+        if ratio_table.rows:
+            tables.append(ratio_table)
         if scaling_rows:
             scaling = ResultTable(
                 title=f"Adversary {adversary!r}: fitted growth exponents "
@@ -172,6 +244,24 @@ def build_campaign_report(store_dir: "str | Path") -> CampaignReport:
                     r_squared=fit.r_squared,
                 )
             tables.append(scaling)
+        if ratio_trend_rows:
+            trend = ResultTable(
+                title=f"Adversary {adversary!r}: fitted ratio trend "
+                "(mean ratio ~ c*n^alpha)",
+                columns=["algorithm", "points", "exponent", "r_squared"],
+            )
+            for algorithm, points in ratio_trend_rows:
+                fit = fit_ratio_trend(points)
+                if fit is None:
+                    continue
+                trend.add_row(
+                    algorithm=algorithm,
+                    points=sum(1 for p in points if p.summary is not None),
+                    exponent=fit.exponent,
+                    r_squared=fit.r_squared,
+                )
+            if trend.rows:
+                tables.append(trend)
 
     return CampaignReport(
         campaign=str(manifest.get("campaign")),

@@ -87,6 +87,7 @@ def _cell_kwargs(spec: CampaignSpec, cell: CampaignCell, engine: str) -> Dict[st
         "adversary": cell.adversary,
         "adversary_params": spec.params_for(cell.adversary) or None,
         "block_size": spec.block_size,
+        "capture_opt": spec.ratio,
     }
 
 

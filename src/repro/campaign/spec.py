@@ -119,6 +119,12 @@ class CampaignSpec:
         block_size: committed-window override for the batched engines.
         adversary_params: per-family parameter overrides, e.g.
             ``{"zipf": {"exponent": 1.5}}``.
+        ratio: when True every trial also captures the offline-optimum
+            baseline, so store records carry ``opt_cost`` and
+            ``competitive_ratio`` and reports grow ratio tables.  This
+            changes the shard contents, so it *is* part of the spec hash —
+            but only when enabled, keeping every pre-ratio store's hash
+            (and thus its resumability) intact.
         description: free-form text, ignored by the hash.
     """
 
@@ -132,6 +138,7 @@ class CampaignSpec:
     engine: str = "fast"
     block_size: Optional[int] = None
     adversary_params: Mapping[str, Mapping[str, Any]] = field(default_factory=dict)
+    ratio: bool = False
     description: str = ""
 
     def __post_init__(self) -> None:
@@ -175,8 +182,14 @@ class CampaignSpec:
     # Hashing and enumeration
     # ------------------------------------------------------------------ #
     def result_fields(self) -> Dict[str, Any]:
-        """The result-determining fields, in canonical (sorted-key) form."""
-        return {
+        """The result-determining fields, in canonical (sorted-key) form.
+
+        ``ratio`` joins the keyed fields only when enabled: capturing the
+        offline baseline changes every shard's bytes, but a spec *without*
+        it must keep the exact hash it had before the field existed so
+        pre-ratio stores stay resume-compatible.
+        """
+        fields: Dict[str, Any] = {
             "adversaries": list(self.adversaries),
             "adversary_params": {
                 family: dict(sorted(dict(params).items()))
@@ -188,6 +201,9 @@ class CampaignSpec:
             "ns": [int(n) for n in self.ns],
             "trials": self.trials,
         }
+        if self.ratio:
+            fields["ratio"] = True
+        return fields
 
     def spec_hash(self) -> str:
         """SHA-256 over the canonical result-determining fields.
@@ -228,6 +244,7 @@ class CampaignSpec:
                 "description": self.description,
                 "engine": self.engine,
                 "block_size": self.block_size,
+                "ratio": self.ratio,
             }
         )
         return data
@@ -274,6 +291,7 @@ def spec_from_dict(data: Mapping[str, Any]) -> CampaignSpec:
         "engine",
         "block_size",
         "adversary_params",
+        "ratio",
     }
     unknown = set(data) - known
     if unknown:
@@ -312,6 +330,12 @@ def spec_from_dict(data: Mapping[str, Any]) -> CampaignSpec:
     for key in ("experiment", "engine", "description"):
         if key in data:
             kwargs[key] = str(data[key])
+    if "ratio" in data:
+        if not isinstance(data["ratio"], bool):
+            raise CampaignSpecError(
+                f"spec key 'ratio' must be a boolean, got {data['ratio']!r}"
+            )
+        kwargs["ratio"] = data["ratio"]
     if "adversary_params" in data:
         params = data["adversary_params"]
         if not isinstance(params, Mapping):

@@ -79,9 +79,14 @@ def metrics_to_record(metrics: TrialMetrics, trial: int, adversary: str) -> Dict
     """One trial's JSON-serialisable store record (deterministic content).
 
     ``duration`` is ``None`` for non-terminated trials (JSON has no
-    ``inf``); :func:`record_to_metrics` restores the ``math.inf``.
+    ``inf``); :func:`record_to_metrics` restores the ``math.inf``.  Trials
+    run with offline-baseline capture (``ratio = true`` campaigns)
+    additionally carry ``opt_cost`` (``None`` standing for the
+    :data:`~repro.ratio.semantics.UNREACHABLE` sentinel) and
+    ``competitive_ratio`` (``None`` when non-finite); trials without
+    capture omit both keys, so pre-ratio shards stay byte-identical.
     """
-    return {
+    record = {
         "adversary": adversary,
         "algorithm": metrics.algorithm,
         "duration": metrics.duration if metrics.terminated else None,
@@ -93,20 +98,47 @@ def metrics_to_record(metrics: TrialMetrics, trial: int, adversary: str) -> Dict
         "transmissions": metrics.transmissions,
         "trial": trial,
     }
+    if metrics.opt_cost is not None:
+        record["opt_cost"] = (
+            metrics.opt_cost if math.isfinite(metrics.opt_cost) else None
+        )
+        ratio = metrics.competitive_ratio
+        record["competitive_ratio"] = (
+            ratio if ratio is not None and math.isfinite(ratio) else None
+        )
+    return record
 
 
 def record_to_metrics(record: Dict[str, Any]) -> TrialMetrics:
-    """Rebuild :class:`~repro.sim.metrics.TrialMetrics` from a store record."""
+    """Rebuild :class:`~repro.sim.metrics.TrialMetrics` from a store record.
+
+    The competitive ratio is *recomputed* from ``(duration, opt_cost)``
+    through :func:`repro.ratio.semantics.competitive_ratio` rather than
+    trusted from the record, so a round trip can never drift from the
+    single definition (``inf`` ratios survive the JSON ``None``).
+    """
+    from ..ratio.semantics import competitive_ratio as _competitive_ratio
+
     duration = record["duration"]
+    restored = math.inf if duration is None else float(duration)
+    opt_cost: "float | None" = None
+    ratio: "float | None" = None
+    if "opt_cost" in record:
+        stored = record["opt_cost"]
+        opt_cost = math.inf if stored is None else float(stored)
+        value = _competitive_ratio(restored, opt_cost)
+        ratio = None if math.isnan(value) else value
     return TrialMetrics(
         n=record["n"],
         seed=record["seed"],
         algorithm=record["algorithm"],
         terminated=record["terminated"],
-        duration=math.inf if duration is None else float(duration),
+        duration=restored,
         transmissions=record["transmissions"],
         horizon=record["horizon"],
         sink_coverage=record["sink_coverage"],
+        opt_cost=opt_cost,
+        competitive_ratio=ratio,
     )
 
 
@@ -196,6 +228,16 @@ class CampaignStore:
         if not isinstance(manifest, dict) or "cells" not in manifest:
             raise CampaignStoreError(
                 f"campaign manifest {self.manifest_path} has no 'cells' table"
+            )
+        if not isinstance(manifest["cells"], dict):
+            raise CampaignStoreError(
+                f"campaign manifest {self.manifest_path} is corrupt: 'cells' "
+                f"must be a table, found {type(manifest['cells']).__name__}"
+            )
+        if "spec" in manifest and not isinstance(manifest["spec"], dict):
+            raise CampaignStoreError(
+                f"campaign manifest {self.manifest_path} is corrupt: 'spec' "
+                f"must be a table, found {type(manifest['spec']).__name__}"
             )
         return manifest
 

@@ -27,8 +27,14 @@ Knob composition (details in ``docs/engines.md``): ``--engine`` selects the
 executor everywhere it appears; ``--workers`` fans trials (or, with
 ``--batched``, whole sweep cells) over processes; ``--block-size`` tunes
 the batched engines' committed window and therefore requires ``--batched``
-on the sweep subcommand.  Every combination produces identical results —
-the knobs trade wall-clock time only.
+on the sweep subcommand.  ``--ratio`` (on ``run``, ``run-all``, ``trial``
+and ``sweep``) additionally captures the offline-optimum baseline per
+trial, adding ``opt_cost``/``competitive_ratio`` metrics and ratio table
+columns (``docs/metrics.md``); campaign specs opt in with ``ratio = true``
+and their reports then carry ratio columns automatically.  Every
+combination produces identical results — the knobs trade wall-clock time
+only, and ``--ratio`` only *adds* metrics without changing any existing
+one.
 """
 
 from __future__ import annotations
@@ -82,6 +88,17 @@ def build_parser() -> argparse.ArgumentParser:
             "identical for any worker count (default: 1)",
         )
 
+    def add_ratio_option(target: argparse.ArgumentParser) -> None:
+        target.add_argument(
+            "--ratio",
+            action="store_true",
+            help="also evaluate the offline-optimum baseline (the paper's "
+            "opt) on the committed window each trial consumed, reporting "
+            "per-trial opt_cost and competitive_ratio (>= 1 whenever "
+            "finite) and ratio table columns; identical values on every "
+            "engine and execution path (see docs/metrics.md)",
+        )
+
     def add_adversary_option(target: argparse.ArgumentParser) -> None:
         target.add_argument(
             "--adversary",
@@ -102,6 +119,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_engine_option(run_parser)
     add_workers_option(run_parser)
+    add_ratio_option(run_parser)
 
     all_parser = subparsers.add_parser("run-all", help="run every experiment")
     all_parser.add_argument(
@@ -109,6 +127,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_engine_option(all_parser)
     add_workers_option(all_parser)
+    add_ratio_option(all_parser)
 
     trial_parser = subparsers.add_parser(
         "trial", help="run one trial of an algorithm against the randomized adversary"
@@ -121,6 +140,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_engine_option(trial_parser)
     add_adversary_option(trial_parser)
+    add_ratio_option(trial_parser)
 
     sweep_parser = subparsers.add_parser(
         "sweep",
@@ -144,6 +164,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_engine_option(sweep_parser)
     add_workers_option(sweep_parser)
     add_adversary_option(sweep_parser)
+    add_ratio_option(sweep_parser)
     sweep_parser.add_argument(
         "--batched",
         action="store_true",
@@ -275,13 +296,20 @@ def main(argv: Optional[List[str]] = None) -> int:
         algorithm = _create_algorithm(args.algorithm, args.n, tau=args.tau)
         metrics = run_random_trial(
             algorithm, args.n, args.seed, engine=args.engine,
-            adversary=args.adversary,
+            adversary=args.adversary, capture_opt=args.ratio,
         )
-        print(
+        line = (
             f"algorithm={metrics.algorithm} n={metrics.n} "
             f"adversary={args.adversary} terminated={metrics.terminated} "
             f"duration={metrics.duration} transmissions={metrics.transmissions}"
         )
+        if args.ratio:
+            ratio = metrics.competitive_ratio
+            line += (
+                f" opt_cost={metrics.opt_cost} "
+                f"competitive_ratio={'undefined' if ratio is None else ratio}"
+            )
+        print(line)
         return 0 if metrics.terminated else 1
 
     if args.command == "sweep":
@@ -324,6 +352,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             adversary=args.adversary,
             batched=args.batched,
             block_size=args.block_size if args.batched else None,
+            capture_opt=args.ratio,
         )
         _emit(sweep.to_table().to_markdown(), args.output)
         return 0
@@ -401,7 +430,12 @@ def _campaign_main(parser: argparse.ArgumentParser, args) -> int:
             _emit(report.to_markdown(), args.output)
             return 0
     except (CampaignSpecError, CampaignStoreError) as error:
-        parser.error(str(error))
+        # Mirrors the perf_gate.py hardening: a missing, empty or corrupt
+        # store (or a broken spec) is an operator-facing condition, so it
+        # exits 2 with one clear actionable line — never a traceback, and
+        # no argparse usage noise drowning the message.
+        print(f"campaign error: {error}", file=sys.stderr)
+        return 2
     parser.error(f"unknown campaign command {args.campaign_command!r}")
     return 2
 
@@ -440,6 +474,15 @@ def _engine_kwargs(runner, args) -> dict:
         print(
             f"note: experiment {runner.__name__} is not wired for parallel "
             "sweeps; --workers ignored",
+            file=sys.stderr,
+        )
+    ratio = getattr(args, "ratio", False)
+    if "capture_opt" in parameters:
+        kwargs["capture_opt"] = ratio
+    elif ratio:
+        print(
+            f"note: experiment {runner.__name__} is not wired for "
+            "offline-baseline capture; --ratio ignored",
             file=sys.stderr,
         )
     return kwargs

@@ -123,6 +123,12 @@ class ExecutionResult:
         sink_coverage: number of origins aggregated at the sink at the end.
         node_count: number of nodes in the instance.
         remaining_owners: nodes other than the sink that still own data.
+        opt_cost: duration of the optimal *offline* convergecast on the
+            committed window this run consumed (``opt(0) + 1``, see
+            :mod:`repro.ratio.semantics`), captured only when the executor
+            was constructed with ``capture_opt=True``; ``math.inf`` when no
+            offline convergecast completes in the window, None when not
+            captured.
     """
 
     terminated: bool
@@ -133,6 +139,7 @@ class ExecutionResult:
     node_count: int
     remaining_owners: Tuple[NodeId, ...] = ()
     sink_payload: Optional[float] = None
+    opt_cost: Optional[float] = None
 
     @property
     def transmission_count(self) -> int:
@@ -155,6 +162,7 @@ class Executor:
         aggregation: AggregationFunction = SUM,
         knowledge: Any = None,
         enforce_oblivious: bool = False,
+        capture_opt: bool = False,
     ) -> None:
         self.nodes = list(nodes)
         self.sink = sink
@@ -162,6 +170,12 @@ class Executor:
         self.aggregation = aggregation
         self.knowledge = knowledge
         self.enforce_oblivious = enforce_oblivious
+        # When True, every run also evaluates the offline-optimum baseline
+        # (the paper's opt(0)) on the exact window of interactions the run
+        # consumed, and reports it as ExecutionResult.opt_cost.  Committed
+        # sources are read back without any extra adversary draws; generic
+        # providers are transparently wrapped in a RecordingProvider.
+        self.capture_opt = capture_opt
         available = () if knowledge is None else knowledge.provides()
         algorithm.validate_knowledge(available)
 
@@ -200,6 +214,15 @@ class Executor:
                 "max_interactions is required when running against an "
                 "unbounded interaction provider"
             )
+        if (
+            self.capture_opt
+            and not isinstance(source, InteractionSequence)
+            and not hasattr(provider, "committed_prefix")
+        ):
+            # Generic (e.g. adaptive) providers do not expose their played
+            # window after the fact; record it so the offline baseline can
+            # be evaluated on exactly the realized sequence.
+            provider = RecordingProvider(provider)
 
         state = NetworkState(
             self.nodes,
@@ -246,6 +269,43 @@ class Executor:
                 key=repr,
             )),
             sink_payload=None if sink_token is None else sink_token.payload,
+            opt_cost=(
+                self._captured_opt_cost(source, provider, time)
+                if self.capture_opt
+                else None
+            ),
+        )
+
+    # ------------------------------------------------------------------ #
+    def _captured_opt_cost(
+        self,
+        source: Union[InteractionSequence, InteractionProvider],
+        provider: InteractionProvider,
+        used: int,
+    ) -> float:
+        """Offline-optimum duration on the window ``[0, used)`` just played.
+
+        The reference engine evaluates the baseline through the pure-Python
+        oracle (:func:`repro.offline.convergecast.opt`) — it *is* the
+        semantics oracle — while the optimized engines go through the
+        differential-equal vectorized kernels of :mod:`repro.ratio`.
+        Committed adversaries are read back via ``committed_prefix`` (the
+        window is already committed, so this never draws), finite sequences
+        are sliced, and generic providers were wrapped in a
+        :class:`RecordingProvider` before the run.
+        """
+        from ..offline.convergecast import opt as offline_opt
+        from ..ratio.semantics import opt_cost_from_end
+
+        if isinstance(source, InteractionSequence):
+            window = source.slice(0, used)
+        elif hasattr(provider, "committed_prefix"):
+            window = provider.committed_prefix(used)
+        else:
+            assert isinstance(provider, RecordingProvider)
+            window = provider.recorded_sequence()
+        return opt_cost_from_end(
+            offline_opt(window, self.nodes, self.sink, start=0)
         )
 
     # ------------------------------------------------------------------ #

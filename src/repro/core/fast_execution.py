@@ -50,7 +50,12 @@ from typing import Any, Dict, Iterable, List, Optional, Set, Tuple, Union
 from .algorithm import DODAAlgorithm
 from .data import AggregationFunction, NodeId, SUM
 from .exceptions import ConfigurationError, ModelViolationError
-from .execution import ExecutionResult, InteractionProvider, Transmission
+from .execution import (
+    ExecutionResult,
+    InteractionProvider,
+    RecordingProvider,
+    Transmission,
+)
 from .interaction import InteractionSequence, _canonical_pair
 from .node import NodeView
 
@@ -203,6 +208,7 @@ class FastExecutor:
         knowledge: Any = None,
         enforce_oblivious: bool = False,
         block_size: Optional[int] = None,
+        capture_opt: bool = False,
     ) -> None:
         self.nodes = list(nodes)
         self.sink = sink
@@ -210,6 +216,10 @@ class FastExecutor:
         self.aggregation = aggregation
         self.knowledge = knowledge
         self.enforce_oblivious = enforce_oblivious
+        # Offline-optimum capture (see Executor): evaluated through the
+        # trial-vectorized kernels of repro.ratio on the committed window
+        # each run consumed, with zero extra adversary draws.
+        self.capture_opt = capture_opt
         if block_size is not None and block_size < 1:
             raise ConfigurationError("block_size must be a positive integer")
         self.block_size = int(block_size or DEFAULT_BLOCK_SIZE)
@@ -285,6 +295,14 @@ class FastExecutor:
                 "max_interactions is required when running against an "
                 "unbounded interaction provider"
             )
+        if (
+            self.capture_opt
+            and not isinstance(source, InteractionSequence)
+            and not hasattr(source, "committed_index_block")
+        ):
+            # Generic providers cannot be read back in blocks afterwards;
+            # record the played window for the offline baseline.
+            source = RecordingProvider(source)
 
         run = _RunState(self.nodes, self.sink, initial_payloads)
         algorithm.on_run_start(self.nodes, self.sink)
@@ -316,7 +334,51 @@ class FastExecutor:
                 )
             ),
             sink_payload=run.payload[sink_index],
+            opt_cost=(
+                self._captured_opt_cost(source, run, ctx.time)
+                if self.capture_opt
+                else None
+            ),
         )
+
+    # ------------------------------------------------------------------ #
+    def _captured_opt_cost(self, source: Any, run: _RunState, used: int) -> float:
+        """Offline-optimum duration on the window ``[0, used)`` just played.
+
+        Reads the consumed window back as dense index blocks (committed
+        adversaries hand them out without drawing; sequences and recorded
+        providers are converted) and evaluates the paper's ``opt(0)``
+        through the single-row case of the trial-vectorized kernel —
+        differential-equal to the reference engine's pure-Python oracle.
+        """
+        import numpy as np
+
+        from ..ratio.kernels import opt_end_matrix, sequence_index_blocks
+        from ..ratio.semantics import opt_cost_from_end
+
+        if isinstance(source, InteractionSequence):
+            i, j = sequence_index_blocks(source, run.index_of, length=used)
+        elif hasattr(source, "committed_index_block"):
+            i, j = source.committed_index_block(0, used)
+            adversary_nodes = source.nodes()
+            if adversary_nodes != run.nodes:
+                translate = np.fromiter(
+                    (run.index_of[node] for node in adversary_nodes),
+                    dtype=np.int64,
+                    count=len(adversary_nodes),
+                )
+                i = translate[i]
+                j = translate[j]
+        else:
+            assert isinstance(source, RecordingProvider)
+            i, j = sequence_index_blocks(
+                source.recorded_sequence(), run.index_of, length=used
+            )
+        lengths = np.asarray([i.shape[0]], dtype=np.int64)
+        ends = opt_end_matrix(
+            i[None, :], j[None, :], lengths, len(run.nodes), run.sink_index
+        )
+        return opt_cost_from_end(float(ends[0]))
 
 
 class _LoopContext:

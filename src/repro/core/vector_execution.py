@@ -158,6 +158,7 @@ class VectorizedExecutor:
         knowledge: Any = None,
         enforce_oblivious: bool = False,
         block_size: Optional[int] = None,
+        capture_opt: bool = False,
     ) -> None:
         self.nodes = list(nodes)
         self.sink = sink
@@ -165,6 +166,10 @@ class VectorizedExecutor:
         self.aggregation = aggregation
         self.knowledge = knowledge
         self.enforce_oblivious = enforce_oblivious
+        # Offline-optimum capture (see Executor): after the lockstep, the
+        # whole cell's baselines are evaluated in one batched kernel call
+        # over the exact committed windows the rows consumed.
+        self.capture_opt = capture_opt
         if block_size is not None and block_size < 1:
             raise ConfigurationError("block_size must be a positive integer")
         self.block_size = int(block_size or DEFAULT_BLOCK_SIZE)
@@ -262,6 +267,7 @@ class VectorizedExecutor:
                 knowledge=self.knowledge,
                 enforce_oblivious=self.enforce_oblivious,
                 block_size=self.block_size,
+                capture_opt=self.capture_opt,
             )
             for position, result in zip(
                 fallback_positions, engine.run_many(fallback)
@@ -475,6 +481,10 @@ class VectorizedExecutor:
             cursor += window
             window = min(window * 2, self.block_size)
 
+        opt_costs: List[Optional[float]] = [None] * batch_size
+        if self.capture_opt and batch_size:
+            opt_costs = self._captured_opt_costs(kernel_trials, used)
+
         for b, trial in enumerate(kernel_trials):
             yield trial.index, ExecutionResult(
                 terminated=duration[b] is not None,
@@ -494,7 +504,40 @@ class VectorizedExecutor:
                     )
                 ),
                 sink_payload=float(payload[b][sink]),
+                opt_cost=opt_costs[b],
             )
+
+    # ------------------------------------------------------------------ #
+    def _captured_opt_costs(
+        self, kernel_trials: List[_KernelTrial], used: List[int]
+    ) -> List[float]:
+        """Offline-optimum durations for every row, in one batched kernel call.
+
+        Re-reads the exact committed windows the lockstep consumed (all
+        already committed — zero extra adversary draws), applies each row's
+        node translation, and evaluates ``opt(0)`` for the whole cell as
+        ``(B, L)`` numpy array ops.
+        """
+        from ..ratio.kernels import opt_end_matrix
+        from ..ratio.semantics import opt_cost_from_end
+
+        matrix_i, matrix_j, lengths = (
+            CommittedBlockAdversary.committed_index_matrix(
+                [trial.fetcher for trial in kernel_trials],
+                0,
+                [int(stop) for stop in used],
+                pad=0,
+            )
+        )
+        for row, trial in enumerate(kernel_trials):
+            count = int(lengths[row])
+            if trial.translate is not None and count:
+                matrix_i[row, :count] = trial.translate[matrix_i[row, :count]]
+                matrix_j[row, :count] = trial.translate[matrix_j[row, :count]]
+        ends = opt_end_matrix(
+            matrix_i, matrix_j, lengths, len(self.nodes), self.sink_index
+        )
+        return [opt_cost_from_end(float(end)) for end in ends]
 
     # ------------------------------------------------------------------ #
     def _consume_row(

@@ -1,0 +1,152 @@
+"""Competitive-ratio reproduction experiment (E25).
+
+The paper's headline comparison is not absolute termination time but the
+cost of an online algorithm *relative to the offline optimum* that knows
+the whole interaction sequence (Section 2.3).  E25 reproduces the
+ratio-vs-``n`` trend end to end through the campaign pipeline:
+
+* a small ``ratio = true`` campaign (algorithms × adversary families ×
+  ``n`` sweep) runs into a store, so every trial record carries
+  ``opt_cost`` and ``competitive_ratio``;
+* the campaign report's ratio-vs-``n`` tables (one per algorithm ×
+  adversary family) become the experiment's tables — exactly what
+  ``repro campaign report`` would print;
+* the verdict checks the metric's defining invariants on the stored
+  records: every terminated trial has a finite, reachable baseline with
+  ``competitive_ratio >= 1`` *exactly*, and re-running one cell per
+  adversary family through the **reference** engine reproduces the stored
+  (vectorized-engine) ``opt_cost``/``competitive_ratio`` values byte for
+  byte.
+"""
+
+from __future__ import annotations
+
+import math
+import shutil
+import tempfile
+from pathlib import Path
+from typing import Dict, List, Sequence
+
+from ..campaign.report import build_campaign_report
+from ..campaign.runner import run_campaign
+from ..campaign.spec import CampaignSpec, algorithm_factory_for
+from ..campaign.store import CampaignStore, record_to_metrics
+from ..sim.batch import run_sweep_cell
+from ..sim.results import ExperimentReport, ResultTable
+
+
+def run_ratio_vs_n(
+    ns: Sequence[int] = (10, 14, 20),
+    trials: int = 5,
+    algorithms: Sequence[str] = ("gathering", "waiting"),
+    adversaries: Sequence[str] = ("uniform", "zipf"),
+    engine: str = "vectorized",
+    workers: int = 1,
+    master_seed: int = 0,
+) -> ExperimentReport:
+    """E25 — ratio-vs-``n`` per algorithm × adversary family, from a store."""
+    spec = CampaignSpec(
+        name="e25-ratio",
+        algorithms=tuple(algorithms),
+        adversaries=tuple(adversaries),
+        ns=tuple(int(n) for n in ns),
+        trials=trials,
+        master_seed=master_seed,
+        experiment="e25",
+        engine=engine,
+        ratio=True,
+    )
+    workdir = Path(tempfile.mkdtemp(prefix="repro-e25-"))
+    try:
+        run_campaign(spec, workdir / "store", workers=workers)
+        store = CampaignStore(workdir / "store")
+        report = build_campaign_report(workdir / "store")
+
+        # Invariant pass over every stored record.
+        checked = 0
+        ratio_at_least_one = True
+        terminated_have_baseline = True
+        for cell in spec.cells():
+            for record in store.load_cell(cell.key):
+                metrics = record_to_metrics(record)
+                checked += 1
+                if metrics.opt_cost is None:
+                    terminated_have_baseline = False
+                    continue
+                if metrics.terminated:
+                    if not math.isfinite(metrics.opt_cost) or (
+                        metrics.competitive_ratio is None
+                        or metrics.competitive_ratio < 1.0
+                    ):
+                        ratio_at_least_one = False
+                        terminated_have_baseline = (
+                            terminated_have_baseline
+                            and math.isfinite(metrics.opt_cost)
+                        )
+
+        # Engine differential: one cell per adversary family re-run through
+        # the reference engine must reproduce the stored metrics exactly.
+        engines_identical = True
+        recheck = ResultTable(
+            title="Reference-engine recheck of stored ratio cells",
+            columns=["adversary", "algorithm", "n", "trials", "identical"],
+        )
+        for adversary in spec.adversaries:
+            cell = next(c for c in spec.cells() if c.adversary == adversary)
+            stored = store.load_cell_metrics(cell.key)
+            rerun = run_sweep_cell(
+                algorithm_factory_for(cell.algorithm),
+                cell.n,
+                spec.trials,
+                master_seed=spec.master_seed,
+                experiment=spec.experiment,
+                engine="reference",
+                adversary=cell.adversary,
+                adversary_params=spec.params_for(cell.adversary) or None,
+                capture_opt=True,
+            )
+            identical = stored == rerun
+            engines_identical = engines_identical and identical
+            recheck.add_row(
+                adversary=adversary,
+                algorithm=cell.algorithm,
+                n=cell.n,
+                trials=len(rerun),
+                identical=identical,
+            )
+
+        ratio_tables = [
+            table
+            for table in report.tables
+            if "competitive ratio" in table.title or "ratio trend" in table.title
+        ]
+        tables_present = sum(
+            1 for table in report.tables if "competitive ratio" in table.title
+        ) == len(spec.adversaries)
+        verdict = (
+            checked == len(spec.cells()) * spec.trials
+            and ratio_at_least_one
+            and terminated_have_baseline
+            and engines_identical
+            and tables_present
+        )
+        details: Dict[str, object] = {
+            "records_checked": checked,
+            "ratio_at_least_one": ratio_at_least_one,
+            "terminated_have_finite_baseline": terminated_have_baseline,
+            "reference_engine_identical": engines_identical,
+            "ratio_tables_per_adversary": tables_present,
+            "spec_hash": spec.spec_hash()[:16],
+        }
+        tables: List[ResultTable] = ratio_tables + [recheck]
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+    return ExperimentReport(
+        experiment_id="E25",
+        claim="Per-trial competitive ratio (online duration / offline "
+        "optimum) is >= 1, engine-invariant, and its ratio-vs-n trend per "
+        "algorithm x adversary family flows from a campaign store",
+        tables=tables,
+        verdict=verdict,
+        details=details,
+    )

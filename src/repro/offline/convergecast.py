@@ -29,6 +29,12 @@ from .schedule import AggregationSchedule, ScheduledTransmission
 
 #: Returned by :func:`opt` and :func:`foremost_arrival_times` when no
 #: journey exists within the finite sequence (the paper's ``opt(t) = ∞``).
+#: This is the *documented sentinel* for impossible aggregations — finite
+#: traces that end too early, disconnected tails, nodes that never meet —
+#: shared with the vectorized kernels as
+#: :data:`repro.ratio.semantics.UNREACHABLE`.  Callers must treat it as a
+#: value, never as an error: every function here returns it instead of
+#: raising when the offline optimum does not exist.
 INFINITY = math.inf
 
 
@@ -173,9 +179,22 @@ def successive_convergecasts(
     """The paper's ``T(i)``: ending times of ``i`` successive convergecasts.
 
     ``T(1) = opt(0)`` and ``T(i+1) = opt(T(i) + 1)``.  The list stops either
-    after ``count`` entries or at the first infinite entry (every later entry
-    would be infinite as well).
+    after ``count`` entries or at the first :data:`INFINITY` entry (every
+    later entry would be infinite as well) — sequences on which aggregation
+    is impossible (finite traces that end too early, disconnected tails)
+    therefore yield the documented ``INFINITY`` sentinel, never an
+    exception, and the function always terminates.
+
+    Degenerate instances where ``opt`` cannot advance the start (fewer than
+    two nodes, whose convergecasts complete without consuming any
+    interaction) stop after recording the first repeated value instead of
+    looping forever on the same window.
+
+    Raises:
+        ValueError: if ``count`` is given but not positive.
     """
+    if count is not None and count < 1:
+        raise ValueError(f"count must be >= 1, got {count}")
     values: List[float] = []
     start = 0
     node_list = list(nodes)
@@ -184,7 +203,13 @@ def successive_convergecasts(
         values.append(ending)
         if ending == INFINITY:
             break
-        start = int(ending) + 1
+        next_start = int(ending) + 1
+        if next_start <= start:
+            # No progress (degenerate <= 1-node instance): every further
+            # convergecast would end at the same time; stop here instead of
+            # re-sweeping the same window forever.
+            break
+        start = next_start
         if start >= len(sequence) and count is None:
             # The next convergecast cannot even begin; record it as infinite
             # and stop when the caller did not request a fixed count.

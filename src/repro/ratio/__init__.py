@@ -1,0 +1,57 @@
+"""Competitive-ratio subsystem: vectorized offline-optimum baselines.
+
+The paper's headline metric is not an algorithm's raw termination time but
+its cost *relative to successive convergecasts performed by an offline
+optimum that knows the whole interaction sequence* (``opt(t)``, Section
+2.3; the broadcast/convergecast duality of Theorem 8).  This package makes
+that baseline cheap enough to attach to every Monte-Carlo trial:
+
+* :mod:`repro.ratio.kernels` — trial-vectorized offline-optimum kernels:
+  foremost arrival times, ``opt(t)`` and successive-convergecast end times
+  for a whole ``(B, L)`` cell of committed futures as numpy array ops,
+  consuming the same dense index matrices the trial-vectorized engine does
+  (:meth:`~repro.adversaries.committed.CommittedBlockAdversary.
+  committed_index_matrix`);
+* :mod:`repro.ratio.semantics` — the scalar vocabulary: ``opt_cost``
+  (offline-optimal duration in interactions), ``competitive_ratio`` and
+  the documented sentinel values (:data:`~repro.ratio.semantics.
+  UNREACHABLE`, :data:`~repro.ratio.semantics.RATIO_UNDEFINED`).
+
+Invariants:
+
+* **Differential equality** — every kernel is sequence-for-sequence equal
+  to the pure-Python oracle in :mod:`repro.offline.convergecast`
+  (``tests/test_ratio_kernels.py``); engines may therefore mix the two
+  freely (the reference engine captures through the oracle, the optimized
+  engines through the kernels) and still produce byte-identical metrics.
+* **Ratio lower bound** — a terminated online run can never beat the
+  offline optimum, so ``competitive_ratio >= 1`` exactly whenever it is
+  finite (``tests/test_property_invariants.py``).
+* **Zero extra adversary draws** — kernels only ever read the committed
+  prefix a trial already consumed; capturing the baseline never extends a
+  committed future.
+"""
+
+from .kernels import (
+    foremost_arrival_matrix,
+    opt_end_matrix,
+    sequence_index_blocks,
+    successive_convergecast_end_matrix,
+)
+from .semantics import (
+    RATIO_UNDEFINED,
+    UNREACHABLE,
+    competitive_ratio,
+    opt_cost_from_end,
+)
+
+__all__ = [
+    "RATIO_UNDEFINED",
+    "UNREACHABLE",
+    "competitive_ratio",
+    "foremost_arrival_matrix",
+    "opt_cost_from_end",
+    "opt_end_matrix",
+    "sequence_index_blocks",
+    "successive_convergecast_end_matrix",
+]

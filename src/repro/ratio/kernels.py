@@ -1,0 +1,272 @@
+"""Trial-vectorized offline-optimum kernels.
+
+The pure-Python oracle (:mod:`repro.offline.convergecast`) computes foremost
+arrival times with a single backward sweep over one sequence.  The sweep is
+inherently sequential in *time* — arrival times at later interactions feed
+relaxations at earlier ones — but perfectly parallel across *trials*: every
+row of a sweep cell is swept independently.  These kernels exploit exactly
+that: one Python-level loop over the shared time axis, numpy array ops of
+width ``B`` per step, consuming the same dense ``(B, L)`` committed index
+matrices the trial-vectorized engine consumes
+(:meth:`~repro.adversaries.committed.CommittedBlockAdversary.
+committed_index_matrix`).
+
+All kernels are differential-equal to the oracle sequence for sequence
+(``tests/test_ratio_kernels.py``) and all returned times are float64 —
+exact for any realistic horizon (``< 2**53``) — so downstream metrics are
+byte-identical no matter which implementation produced them.
+
+Row conventions (shared with ``committed_index_matrix``):
+
+* ``I[b, t]`` / ``J[b, t]`` are dense node indices of row ``b``'s committed
+  interaction at time ``t``; entries at ``t >= lengths[b]`` are padding and
+  are never read into a result;
+* a row's window is ``[starts[b], lengths[b])``; nodes unreachable within
+  it get :data:`~repro.ratio.semantics.UNREACHABLE`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple, Union
+
+import numpy as np
+
+from .semantics import UNREACHABLE
+
+__all__ = [
+    "foremost_arrival_matrix",
+    "opt_end_matrix",
+    "sequence_index_blocks",
+    "successive_convergecast_end_matrix",
+]
+
+StartSpec = Union[int, np.ndarray]
+
+#: Time-axis chunk of the backward sweep: bounds the precomputed per-chunk
+#: index structures to ~chunk × 2B × 18 bytes regardless of window length.
+_TIME_CHUNK = 32768
+
+
+def _as_matrix(values: np.ndarray) -> np.ndarray:
+    matrix = np.asarray(values, dtype=np.int64)
+    if matrix.ndim != 2:
+        raise ValueError(f"expected a (B, L) matrix, got shape {matrix.shape}")
+    return matrix
+
+
+def _starts_vector(starts: StartSpec, batch: int) -> np.ndarray:
+    vector = np.broadcast_to(np.asarray(starts, dtype=np.int64), (batch,))
+    return vector
+
+
+def foremost_arrival_matrix(
+    I: np.ndarray,
+    J: np.ndarray,
+    lengths: np.ndarray,
+    n: int,
+    sink: int,
+    starts: StartSpec = 0,
+) -> np.ndarray:
+    """Foremost arrival times at the sink for a whole cell of sequences.
+
+    The vectorized counterpart of :func:`repro.offline.convergecast.
+    foremost_arrival_times`: ``result[b, u]`` is the earliest time a
+    time-respecting journey starting at or after ``starts[b]`` brings node
+    ``u``'s data to the sink using row ``b``'s committed interactions, or
+    :data:`~repro.ratio.semantics.UNREACHABLE` when no such journey exists
+    within the row's window.  ``result[b, sink] = starts[b] - 1`` by the
+    oracle's convention.
+
+    Args:
+        I, J: ``(B, L)`` dense node-index matrices (padding beyond a row's
+            length is ignored; any in-range value is acceptable padding).
+        lengths: per-row committed lengths, shape ``(B,)``.
+        n: number of nodes (dense indices ``0..n-1``).
+        sink: dense sink index.
+        starts: shared start time, or one per row (shape ``(B,)``).
+
+    Returns:
+        ``(B, n)`` float64 arrival-time matrix.
+    """
+    I = _as_matrix(I)
+    J = _as_matrix(J)
+    batch, width = I.shape
+    if J.shape != I.shape:
+        raise ValueError(f"I/J shape mismatch: {I.shape} vs {J.shape}")
+    lengths = np.asarray(lengths, dtype=np.int64)
+    starts = _starts_vector(starts, batch)
+    if batch == 0 or n == 0:
+        return np.full((batch, n), UNREACHABLE, dtype=np.float64)
+    # Arrival lives as one flat (B*n + 1) vector so every per-step access
+    # is a single fancy gather/scatter on precomputed flat indices.  The
+    # extra trailing slot holds -inf and serves as a write sink: node-side
+    # indices of positions that must never relax (the sink's own arrival,
+    # padding beyond a row's length, times before a row's start) are
+    # redirected there during precomputation, which keeps the hot loop down
+    # to a handful of numpy ops per time step — the per-step op count, not
+    # the array width, dominates at realistic batch sizes.
+    flat = np.full(batch * n + 1, UNREACHABLE, dtype=np.float64)
+    offsets = np.arange(batch, dtype=np.int64) * n
+    flat[offsets + sink] = starts - 1
+    dummy = batch * n
+    flat[dummy] = -np.inf
+    last = min(width, int(lengths.max()))
+    first = max(int(starts.min()), 0)
+    if last <= first:
+        arrival = flat[:dummy].reshape(batch, n)
+        return arrival.copy()
+    # The time axis is processed in chunks (newest first) so the
+    # precomputed per-chunk index structures stay memory-bounded even for
+    # horizon-length windows; within a chunk the sweep runs newest-to-
+    # oldest exactly like the oracle.
+    for chunk_end in range(last, first, -_TIME_CHUNK):
+        chunk_start = max(first, chunk_end - _TIME_CHUNK)
+        span = slice(chunk_start, chunk_end)
+        it = np.ascontiguousarray(I.T[span])  # (T, B) time-major
+        jt = np.ascontiguousarray(J.T[span])
+        steps = chunk_end - chunk_start
+        times = np.arange(chunk_start, chunk_end, dtype=np.int64)
+        # Node-side flat indices (where a relaxation would write) and
+        # peer-side flat indices (whose arrival the journey continues
+        # through), both (T, 2B): the u-direction and v-direction of every
+        # interaction are processed as one fused vector per step.
+        node_index = np.empty((steps, 2 * batch), dtype=np.int64)
+        node_index[:, :batch] = it + offsets
+        node_index[:, batch:] = jt + offsets
+        peer_index = np.empty((steps, 2 * batch), dtype=np.int64)
+        peer_index[:, :batch] = jt + offsets
+        peer_index[:, batch:] = it + offsets
+        peer_is_sink = np.empty((steps, 2 * batch), dtype=bool)
+        peer_is_sink[:, :batch] = jt == sink
+        peer_is_sink[:, batch:] = it == sink
+        blocked = np.empty((steps, 2 * batch), dtype=bool)
+        blocked[:, :batch] = it == sink
+        blocked[:, batch:] = jt == sink
+        dead = (times[:, None] >= lengths[None, :]) | (
+            times[:, None] < starts[None, :]
+        )
+        blocked[:, :batch] |= dead
+        blocked[:, batch:] |= dead
+        node_index[blocked] = dummy
+        for step in range(steps - 1, -1, -1):
+            time = times[step]
+            peer_arrival = flat[peer_index[step]]
+            # Candidate arrival through the peer: the journey completes
+            # now when the peer is the sink, otherwise it continues through
+            # the peer's strictly-later foremost arrival.
+            candidate = np.where(
+                peer_arrival > time, peer_arrival, UNREACHABLE
+            )
+            candidate[peer_is_sink[step]] = time
+            node_slot = node_index[step]
+            improves = candidate < flat[node_slot]
+            if improves.any():
+                flat[node_slot[improves]] = candidate[improves]
+    arrival = flat[:dummy].reshape(batch, n)
+    return arrival.copy()
+
+
+def opt_end_matrix(
+    I: np.ndarray,
+    J: np.ndarray,
+    lengths: np.ndarray,
+    n: int,
+    sink: int,
+    starts: StartSpec = 0,
+) -> np.ndarray:
+    """The paper's ``opt(start)`` per row: optimal convergecast end times.
+
+    Vectorized counterpart of :func:`repro.offline.convergecast.opt`:
+    ``result[b]`` is the ending time of an optimal offline convergecast on
+    row ``b`` starting at ``starts[b]``, or
+    :data:`~repro.ratio.semantics.UNREACHABLE` when none completes within
+    the row's window.  Returns a ``(B,)`` float64 vector.
+    """
+    I = _as_matrix(I)
+    batch = I.shape[0]
+    starts = _starts_vector(starts, batch)
+    if n <= 1:
+        # Degenerate single-node instances: nothing to aggregate (oracle
+        # convention: the convergecast is already complete).
+        return np.maximum(starts - 1, 0).astype(np.float64)
+    arrival = foremost_arrival_matrix(I, J, lengths, n, sink, starts=starts)
+    non_sink = np.ones(n, dtype=bool)
+    non_sink[sink] = False
+    return arrival[:, non_sink].max(axis=1)
+
+
+def successive_convergecast_end_matrix(
+    I: np.ndarray,
+    J: np.ndarray,
+    lengths: np.ndarray,
+    n: int,
+    sink: int,
+    count: int,
+    starts: StartSpec = 0,
+) -> np.ndarray:
+    """End times ``T(1) .. T(count)`` of successive convergecasts, per row.
+
+    Vectorized counterpart of :func:`repro.offline.convergecast.
+    successive_convergecasts` with a fixed ``count``: ``result[b, i-1]`` is
+    the paper's ``T(i)`` for row ``b`` (``T(1) = opt(starts[b])``,
+    ``T(i+1) = opt(T(i) + 1)``).  Once a row's convergecasts stop fitting
+    in its window, every later entry is
+    :data:`~repro.ratio.semantics.UNREACHABLE` — the same sentinel the
+    oracle stops listing at.
+
+    Returns a ``(B, count)`` float64 matrix.
+    """
+    if count < 1:
+        raise ValueError(f"count must be >= 1, got {count}")
+    I = _as_matrix(I)
+    J = _as_matrix(J)
+    batch, width = I.shape
+    lengths = np.asarray(lengths, dtype=np.int64)
+    starts = _starts_vector(starts, batch).copy()
+    ends = np.full((batch, count), UNREACHABLE, dtype=np.float64)
+    active = np.ones(batch, dtype=bool)
+    for round_index in range(count):
+        if not active.any():
+            break
+        # Inactive rows sweep an empty window (start beyond the row), so
+        # one matrix call serves every row each round.
+        round_starts = np.where(active, starts, width)
+        round_ends = opt_end_matrix(
+            I, J, lengths, n, sink, starts=round_starts
+        )
+        ends[active, round_index] = round_ends[active]
+        finite = np.isfinite(round_ends) & active
+        # Guard against degenerate instances where opt() cannot advance the
+        # start (e.g. n <= 1): stop instead of looping on the same window.
+        progressed = finite & (round_ends + 1 > starts)
+        active = progressed
+        safe_ends = np.where(finite, round_ends, 0).astype(np.int64)
+        starts = np.where(progressed, safe_ends + 1, starts)
+    return ends
+
+
+def sequence_index_blocks(
+    sequence, index_of: Dict, length: Optional[int] = None
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Dense node-index arrays for a finite interaction sequence prefix.
+
+    Adapts an :class:`~repro.core.interaction.InteractionSequence` to the
+    kernels' input shape, mirroring how the executors map node identifiers
+    to dense indices (``index_of``).  Returns ``(i, j)`` int64 arrays of
+    the first ``length`` interactions (the whole sequence by default).
+
+    Raises:
+        KeyError: if the prefix mentions a node outside ``index_of``.
+    """
+    limit = len(sequence) if length is None else min(length, len(sequence))
+    i = np.fromiter(
+        (index_of[sequence[k].u] for k in range(limit)),
+        dtype=np.int64,
+        count=limit,
+    )
+    j = np.fromiter(
+        (index_of[sequence[k].v] for k in range(limit)),
+        dtype=np.int64,
+        count=limit,
+    )
+    return i, j

@@ -1,0 +1,86 @@
+"""Scalar vocabulary of the competitive-ratio metric.
+
+One module owns the definitions so that engines, metrics, the store and the
+report layer can never disagree on them:
+
+* ``opt_cost`` — the offline optimum's *duration* on the committed window a
+  trial consumed, counted in interactions: ``opt(0) + 1`` (the optimal
+  schedule's last transmission happens at time ``opt(0)``).  When no offline
+  convergecast completes within the window the value is the documented
+  sentinel :data:`UNREACHABLE` (``math.inf``).
+* ``competitive_ratio`` — ``duration / opt_cost`` with the conventions:
+
+  ========================  ==========================  =================
+  online ``duration``       offline ``opt_cost``        ratio
+  ========================  ==========================  =================
+  finite                    finite                      ``>= 1`` exactly
+  ``inf`` (no termination)  finite                      ``math.inf``
+  any                       ``inf`` (:data:`UNREACHABLE`)  :data:`RATIO_UNDEFINED`
+  ========================  ==========================  =================
+
+  The ``>= 1`` lower bound is exact (not merely within tolerance): a
+  terminated run's last transmission at ``duration - 1`` can never precede
+  ``opt(0)``, hence ``duration >= opt_cost``.
+
+JSON serialisation note: stores persist ``opt_cost`` with ``None`` standing
+for :data:`UNREACHABLE` (JSON has no ``inf``) and *recompute* the ratio
+from ``(duration, opt_cost)`` on load via :func:`competitive_ratio`, so a
+round trip can never drift from these definitions.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "RATIO_UNDEFINED",
+    "UNREACHABLE",
+    "competitive_ratio",
+    "opt_cost_from_end",
+]
+
+#: Sentinel for "the offline optimum cannot complete within the window"
+#: (the paper's ``opt(t) = ∞``) — finite traces and disconnected tails.
+UNREACHABLE = math.inf
+
+#: Sentinel ratio when the offline baseline itself is :data:`UNREACHABLE`:
+#: there is nothing to be relative to, so the ratio is undefined (NaN),
+#: never silently 1.0 or inf.
+RATIO_UNDEFINED = math.nan
+
+
+def opt_cost_from_end(opt_end: float) -> float:
+    """Offline-optimal *duration* (in interactions) from an ``opt(0)`` end time.
+
+    ``opt_end`` is an ending time (index of the optimum's last
+    transmission); durations count interactions, so the cost is
+    ``opt_end + 1``.  :data:`UNREACHABLE` passes through unchanged.
+    Always returns a float so the value is byte-identical no matter which
+    implementation (pure-Python oracle or numpy kernel) produced the end
+    time.
+    """
+    if math.isinf(opt_end):
+        return UNREACHABLE
+    return float(opt_end) + 1.0
+
+
+def competitive_ratio(duration: float, opt_cost: float) -> float:
+    """The per-trial competitive ratio under the documented conventions.
+
+    Args:
+        duration: the online algorithm's duration in interactions
+            (``math.inf`` when the trial did not terminate).
+        opt_cost: the offline baseline's duration
+            (:func:`opt_cost_from_end`; :data:`UNREACHABLE` when no offline
+            convergecast completes in the window).
+    """
+    if math.isinf(opt_cost):
+        return RATIO_UNDEFINED
+    if math.isinf(duration):
+        return math.inf
+    if opt_cost <= 0:
+        # Degenerate instantly-complete instances (single-node): both the
+        # online run and the offline optimum finish before consuming any
+        # interaction, so the run is trivially optimal.
+        return 1.0 if duration <= 0 else math.inf
+    return float(duration) / float(opt_cost)

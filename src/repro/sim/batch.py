@@ -61,6 +61,7 @@ def run_sweep_cell(
     adversary: str = "uniform",
     adversary_params: Optional[Dict[str, Any]] = None,
     block_size: Optional[int] = None,
+    capture_opt: bool = False,
 ) -> List[TrialMetrics]:
     """Run all ``trials`` of one sweep cell in one engine invocation.
 
@@ -73,7 +74,11 @@ def run_sweep_cell(
     kernel-less algorithms); ``engine="reference"`` runs one reference
     executor per trial (the semantics oracle for differential tests of this
     very function).  ``block_size`` tunes the batched engines' committed
-    window (None keeps each engine's default).
+    window (None keeps each engine's default).  ``capture_opt=True``
+    additionally evaluates the offline-optimum baseline per trial (the
+    vectorized engine does so for the whole cell in one batched kernel
+    call), filling the metrics' ``opt_cost``/``competitive_ratio`` fields
+    identically to the per-trial path.
 
     Raises:
         ValueError: if ``n``/``trials`` are invalid or ``engine`` /
@@ -114,7 +119,10 @@ def run_sweep_cell(
 
     if hasattr(executor_cls, "run_many"):
         first = prepare(0)
-        executor_kwargs: Dict[str, Any] = {"knowledge": first[1]}
+        executor_kwargs: Dict[str, Any] = {
+            "knowledge": first[1],
+            "capture_opt": capture_opt,
+        }
         if block_size is not None:
             executor_kwargs["block_size"] = block_size
         cell_executor = executor_cls(nodes, sink, first[0], **executor_kwargs)
@@ -139,9 +147,10 @@ def run_sweep_cell(
             algorithm, knowledge, source, horizon, seed = prepare(trial)
             record(algorithm, horizon, seed)
             results.append(
-                executor_cls(nodes, sink, algorithm, knowledge=knowledge).run(
-                    source, max_interactions=horizon
-                )
+                executor_cls(
+                    nodes, sink, algorithm, knowledge=knowledge,
+                    capture_opt=capture_opt,
+                ).run(source, max_interactions=horizon)
             )
 
     return [
@@ -164,6 +173,7 @@ def sweep_adversary_batched(
     adversary: str = "uniform",
     adversary_params: Optional[Dict[str, Any]] = None,
     block_size: Optional[int] = None,
+    capture_opt: bool = False,
 ) -> SweepResult:
     """Run an ``n`` sweep with one engine invocation per ``(algorithm, n)`` cell.
 
@@ -194,6 +204,7 @@ def sweep_adversary_batched(
             adversary=adversary,
             adversary_params=adversary_params,
             block_size=block_size,
+            capture_opt=capture_opt,
         )
         result.points.append(
             SweepPoint(n=int(n), algorithm=result.algorithm, trials=metrics)

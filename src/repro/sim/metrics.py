@@ -7,6 +7,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence
 
 from ..core.execution import ExecutionResult
+from ..ratio.semantics import competitive_ratio as _competitive_ratio
 
 
 @dataclass(frozen=True)
@@ -23,6 +24,17 @@ class TrialMetrics:
         transmissions: number of data transmissions performed.
         horizon: the interaction budget the trial was given.
         sink_coverage: number of origins aggregated at the sink at the end.
+        opt_cost: duration of the optimal offline convergecast on the
+            committed window the trial consumed (``math.inf`` when the
+            offline baseline cannot complete either); None when the trial
+            ran without offline-baseline capture.
+        competitive_ratio: ``duration / opt_cost`` under the conventions of
+            :mod:`repro.ratio.semantics` (``>= 1`` exactly whenever finite,
+            ``inf`` for non-terminated trials).  None either when the trial
+            ran without capture (``opt_cost`` is None too) or when the
+            captured baseline is unreachable (``opt_cost`` is ``inf``) —
+            NaN is deliberately kept out of metrics so that equality
+            comparisons between trials stay exact.
         extra: experiment-specific values (e.g. tau, cost, meeting counts).
     """
 
@@ -34,6 +46,8 @@ class TrialMetrics:
     transmissions: int
     horizon: int
     sink_coverage: int
+    opt_cost: Optional[float] = None
+    competitive_ratio: Optional[float] = None
     extra: Dict[str, Any] = field(default_factory=dict)
 
     @classmethod
@@ -46,8 +60,20 @@ class TrialMetrics:
         horizon: int,
         extra: Optional[Dict[str, Any]] = None,
     ) -> "TrialMetrics":
-        """Build metrics from an :class:`ExecutionResult`."""
+        """Build metrics from an :class:`ExecutionResult`.
+
+        When the execution captured the offline baseline
+        (``capture_opt=True`` engines), the per-trial ``opt_cost`` and
+        ``competitive_ratio`` are derived here through
+        :func:`repro.ratio.semantics.competitive_ratio` — the single
+        definition every layer shares.
+        """
         duration = float(result.duration) if result.terminated else math.inf
+        opt_cost = None if result.opt_cost is None else float(result.opt_cost)
+        ratio: Optional[float] = None
+        if opt_cost is not None:
+            value = _competitive_ratio(duration, opt_cost)
+            ratio = None if math.isnan(value) else value
         return cls(
             n=n,
             seed=seed,
@@ -57,6 +83,8 @@ class TrialMetrics:
             transmissions=result.transmission_count,
             horizon=horizon,
             sink_coverage=result.sink_coverage,
+            opt_cost=opt_cost,
+            competitive_ratio=ratio,
             extra=dict(extra or {}),
         )
 
@@ -79,3 +107,17 @@ def mean_duration(metrics: Sequence[TrialMetrics]) -> float:
     if not finished:
         return math.inf
     return sum(finished) / len(finished)
+
+
+def finite_ratios(metrics: Sequence[TrialMetrics]) -> List[float]:
+    """The finite competitive ratios of a trial set (captured trials only)."""
+    return [
+        m.competitive_ratio
+        for m in metrics
+        if m.competitive_ratio is not None and math.isfinite(m.competitive_ratio)
+    ]
+
+
+def has_ratio_capture(metrics: Sequence[TrialMetrics]) -> bool:
+    """True when at least one trial carries an offline-baseline capture."""
+    return any(m.opt_cost is not None for m in metrics)

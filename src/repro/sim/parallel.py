@@ -75,6 +75,7 @@ def _run_task(task: Tuple[int, int]) -> TrialMetrics:
         engine=config["engine"],
         adversary=config["adversary"],
         adversary_params=config["adversary_params"],
+        capture_opt=config["capture_opt"],
     )
 
 
@@ -95,6 +96,7 @@ def _run_cell_task(n: int) -> List[TrialMetrics]:
         adversary=config["adversary"],
         adversary_params=config["adversary_params"],
         block_size=config["block_size"],
+        capture_opt=config["capture_opt"],
     )
 
 
@@ -192,6 +194,7 @@ def sweep_random_adversary(
     adversary_params: Optional[dict] = None,
     batched: bool = False,
     block_size: Optional[int] = None,
+    capture_opt: bool = False,
 ) -> SweepResult:
     """Run a committed-adversary sweep, optionally across worker processes.
 
@@ -233,6 +236,7 @@ def sweep_random_adversary(
                 adversary=adversary,
                 adversary_params=adversary_params,
                 block_size=block_size,
+                capture_opt=capture_opt,
             )
         return _serial_sweep(
             algorithm_factory,
@@ -245,6 +249,7 @@ def sweep_random_adversary(
             engine=engine,
             adversary=adversary,
             adversary_params=adversary_params,
+            capture_opt=capture_opt,
         )
 
     sample_algorithm = algorithm_factory(int(ns[0]))
@@ -259,6 +264,7 @@ def sweep_random_adversary(
         "adversary_params": adversary_params,
         "trials": trials,
         "block_size": block_size,
+        "capture_opt": capture_opt,
     }
     result = SweepResult(algorithm=sample_algorithm.name)
     if batched:

@@ -171,6 +171,7 @@ def execute_random_trial(
     engine: str = "reference",
     adversary: str = "uniform",
     adversary_params: Optional[Dict[str, Any]] = None,
+    capture_opt: bool = False,
 ) -> Tuple[ExecutionResult, int]:
     """Run one committed-adversary trial and return the raw execution result.
 
@@ -179,7 +180,10 @@ def execute_random_trial(
     must return equal :class:`~repro.core.execution.ExecutionResult`
     objects, including the transmission log.  ``adversary`` names a family
     from :data:`repro.adversaries.factory.ADVERSARY_FAMILIES` (uniform,
-    zipf, hub, waypoint, community).  Returns ``(result, horizon)``.
+    zipf, hub, waypoint, community).  ``capture_opt=True`` additionally
+    evaluates the offline-optimum baseline on the committed window the
+    trial consumed (``ExecutionResult.opt_cost``), identically on every
+    engine.  Returns ``(result, horizon)``.
     """
     executor_cls = resolve_engine(engine)
     nodes = list(range(n))
@@ -193,7 +197,9 @@ def execute_random_trial(
     knowledge, committed = build_knowledge_for_random_run(
         algorithm, adversary_obj, nodes, sink, horizon
     )
-    executor = executor_cls(nodes, sink, algorithm, knowledge=knowledge)
+    executor = executor_cls(
+        nodes, sink, algorithm, knowledge=knowledge, capture_opt=capture_opt
+    )
     if committed is not None:
         result = executor.run(committed, max_interactions=horizon)
     else:
@@ -211,6 +217,7 @@ def run_random_trial(
     engine: str = "reference",
     adversary: str = "uniform",
     adversary_params: Optional[Dict[str, Any]] = None,
+    capture_opt: bool = False,
 ) -> TrialMetrics:
     """Run one trial of ``algorithm`` against a committed adversary.
 
@@ -227,10 +234,14 @@ def run_random_trial(
         adversary: adversary family name (default the paper's uniform
             randomized adversary).
         adversary_params: family-specific parameter overrides.
+        capture_opt: also evaluate the offline-optimum baseline, filling
+            the metrics' ``opt_cost`` and ``competitive_ratio`` fields
+            (identical values on every engine and execution path).
     """
     result, horizon = execute_random_trial(
         algorithm, n, seed, horizon=horizon, sink=sink, engine=engine,
         adversary=adversary, adversary_params=adversary_params,
+        capture_opt=capture_opt,
     )
     return TrialMetrics.from_result(
         result, n=n, seed=seed, algorithm=algorithm.name, horizon=horizon, extra=extra
@@ -260,6 +271,15 @@ class SweepPoint:
             return None
         return summarize_sample(finished)
 
+    def ratio_summary(self) -> Optional[SampleSummary]:
+        """Summary of finite competitive ratios (None when none captured)."""
+        from .metrics import finite_ratios
+
+        ratios = finite_ratios(self.trials)
+        if not ratios:
+            return None
+        return summarize_sample(ratios)
+
 
 @dataclass
 class SweepResult:
@@ -277,14 +297,26 @@ class SweepResult:
         return [point.mean_duration for point in self.points]
 
     def to_table(self, title: Optional[str] = None) -> ResultTable:
-        """Render the sweep as a result table."""
+        """Render the sweep as a result table.
+
+        When the sweep ran with offline-baseline capture (``--ratio``),
+        per-``n`` competitive-ratio columns (``mean_ratio``,
+        ``median_ratio``, ``p90_ratio``) are appended; sweeps without
+        capture render exactly as before.
+        """
+        from .metrics import has_ratio_capture
+
+        with_ratio = any(has_ratio_capture(p.trials) for p in self.points)
+        columns = ["n", "trials", "terminated", "mean", "std", "median", "p90"]
+        if with_ratio:
+            columns += ["mean_ratio", "median_ratio", "p90_ratio"]
         table = ResultTable(
             title=title or f"{self.algorithm}: interactions to termination",
-            columns=["n", "trials", "terminated", "mean", "std", "median", "p90"],
+            columns=columns,
         )
         for point in self.points:
             summary = point.summary()
-            table.add_row(
+            row = dict(
                 n=point.n,
                 trials=len(point.trials),
                 terminated=point.termination_rate,
@@ -293,6 +325,14 @@ class SweepResult:
                 median=summary.median if summary else math.inf,
                 p90=summary.p90 if summary else math.inf,
             )
+            if with_ratio:
+                ratios = point.ratio_summary()
+                row.update(
+                    mean_ratio=ratios.mean if ratios else math.inf,
+                    median_ratio=ratios.median if ratios else math.inf,
+                    p90_ratio=ratios.p90 if ratios else math.inf,
+                )
+            table.add_row(**row)
         return table
 
 
@@ -307,6 +347,7 @@ def sweep_random_adversary(
     engine: str = "reference",
     adversary: str = "uniform",
     adversary_params: Optional[Dict[str, Any]] = None,
+    capture_opt: bool = False,
 ) -> SweepResult:
     """Run ``trials`` independent trials per ``n`` against a committed adversary.
 
@@ -354,6 +395,7 @@ def sweep_random_adversary(
                     engine=engine,
                     adversary=adversary,
                     adversary_params=adversary_params,
+                    capture_opt=capture_opt,
                 )
             )
         result.points.append(
@@ -396,6 +438,7 @@ def run_sweep_trial(
     engine: str = "reference",
     adversary: str = "uniform",
     adversary_params: Optional[Dict[str, Any]] = None,
+    capture_opt: bool = False,
 ) -> TrialMetrics:
     """Run the single sweep trial ``(n, trial)`` with derived-seed determinism."""
     algorithm, seed, horizon = derive_sweep_trial(
@@ -405,6 +448,7 @@ def run_sweep_trial(
     return run_random_trial(
         algorithm, n, seed, horizon=horizon, sink=sink, engine=engine,
         adversary=adversary, adversary_params=adversary_params,
+        capture_opt=capture_opt,
     )
 
 

@@ -281,8 +281,12 @@ class TestCampaignCLI:
         assert main(["campaign", "status", str(spec_path)]) == 0
         assert "defaulted" in capsys.readouterr().out
 
-    def test_clear_cli_errors(self, tmp_path):
-        with pytest.raises(SystemExit):
-            main(["campaign", "run", str(tmp_path / "absent.toml")])
-        with pytest.raises(SystemExit):
-            main(["campaign", "status", str(tmp_path / "not-a-store")])
+    def test_clear_cli_errors(self, tmp_path, capsys):
+        # Campaign CLI failures exit 2 with one clear stderr line — no
+        # SystemExit from argparse, no usage noise, never a traceback.
+        assert main(["campaign", "run", str(tmp_path / "absent.toml")]) == 2
+        err = capsys.readouterr().err
+        assert "campaign error" in err and "Traceback" not in err
+        assert main(["campaign", "status", str(tmp_path / "not-a-store")]) == 2
+        err = capsys.readouterr().err
+        assert "campaign error" in err and "Traceback" not in err

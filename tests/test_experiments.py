@@ -34,8 +34,8 @@ TRIALS = 8
 
 class TestRegistry:
     def test_all_experiments_registered(self):
-        assert len(EXPERIMENTS) == 24
-        assert set(EXPERIMENTS) == {f"E{i}" for i in range(1, 25)}
+        assert len(EXPERIMENTS) == 25
+        assert set(EXPERIMENTS) == {f"E{i}" for i in range(1, 26)}
 
     def test_run_experiment_unknown_id(self):
         with pytest.raises(KeyError):

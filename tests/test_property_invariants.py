@@ -9,6 +9,9 @@ The invariants exercised here are the ones every other result builds on:
   in the start time; the broadcast/convergecast reversal duality holds;
 * cost invariants — cost is at least 1, and equals 1 exactly when the
   duration is within the first convergecast;
+* competitive-ratio invariants — a captured ratio is ``>= 1`` exactly
+  whenever finite, for every engine × adversary family combination, and
+  the vectorized ratio kernels agree with the pure-Python oracle;
 * data-token algebra — aggregation never loses or duplicates origins.
 """
 
@@ -16,6 +19,7 @@ from __future__ import annotations
 
 import math
 
+import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
@@ -206,6 +210,77 @@ def test_cost_at_least_one_and_one_iff_optimal(data):
         assert result.duration - 1 <= optimum
     else:
         assert result.duration - 1 > optimum
+
+
+# ---------------------------------------------------------------------- #
+# Competitive-ratio invariants
+# ---------------------------------------------------------------------- #
+
+
+@pytest.mark.parametrize("engine", ["reference", "fast", "vectorized"])
+@pytest.mark.parametrize(
+    "adversary", ["uniform", "zipf", "hub", "waypoint", "community"]
+)
+def test_competitive_ratio_at_least_one(engine, adversary):
+    """A captured ratio is >= 1 *exactly* whenever the trial terminated.
+
+    The offline optimum is a true optimum on the consumed window, so the
+    online duration can never undercut opt_cost — across every engine and
+    every committed adversary family.
+    """
+    from repro.algorithms.gathering import Gathering
+    from repro.sim.runner import run_random_trial
+
+    for seed in range(4):
+        metrics = run_random_trial(
+            Gathering(), 12, seed, engine=engine, adversary=adversary,
+            capture_opt=True,
+        )
+        assert metrics.opt_cost is not None
+        if metrics.terminated:
+            assert math.isfinite(metrics.opt_cost)
+            assert metrics.competitive_ratio is not None
+            assert metrics.competitive_ratio >= 1.0
+            assert metrics.competitive_ratio == (
+                metrics.duration / metrics.opt_cost
+            )
+        elif metrics.competitive_ratio is not None:
+            assert metrics.competitive_ratio == math.inf
+
+
+@common_settings
+@given(data=interaction_sequences())
+def test_ratio_kernel_opt_matches_oracle(data):
+    import numpy as np
+
+    from repro.ratio.kernels import opt_end_matrix, sequence_index_blocks
+    from repro.ratio.semantics import opt_cost_from_end
+
+    n, sequence = data
+    index_of = {node: node for node in range(n)}
+    i, j = sequence_index_blocks(sequence, index_of)
+    ends = opt_end_matrix(
+        i[None, :], j[None, :], np.array([len(sequence)]), n, 0
+    )
+    oracle = opt(sequence, list(range(n)), 0)
+    assert ends[0] == float(oracle)
+    assert opt_cost_from_end(float(ends[0])) == opt_cost_from_end(oracle)
+
+
+@common_settings
+@given(data=interaction_sequences())
+def test_terminated_run_ratio_bounded_below_by_one(data):
+    from repro.core.fast_execution import FastExecutor
+    from repro.ratio.semantics import competitive_ratio
+
+    n, sequence = data
+    nodes = list(range(n))
+    executor = FastExecutor(nodes, 0, Gathering(), capture_opt=True)
+    result = executor.run(sequence)
+    assert result.opt_cost is not None
+    if result.terminated:
+        ratio = competitive_ratio(float(result.duration), result.opt_cost)
+        assert ratio >= 1.0
 
 
 # ---------------------------------------------------------------------- #

@@ -1,0 +1,247 @@
+"""Differential tests: ratio kernels vs the pure-Python offline oracle.
+
+The vectorized kernels in :mod:`repro.ratio.kernels` must reproduce
+:mod:`repro.offline.convergecast` sequence for sequence — foremost arrival
+times, ``opt(t)`` and successive-convergecast end times — on random
+sequences, committed adversary cells and trace replays, including the
+impossible-aggregation sentinel cases.  This file also pins the hardened
+:func:`~repro.offline.convergecast.successive_convergecasts` semantics
+(satellite: documented sentinel instead of looping/raising on traces that
+never complete) and the scalar ratio vocabulary of
+:mod:`repro.ratio.semantics`.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import numpy as np
+import pytest
+
+from repro.adversaries.committed import CommittedBlockAdversary
+from repro.adversaries.factory import make_adversary
+from repro.adversaries.mobility import TraceReplayAdversary
+from repro.core.interaction import InteractionSequence
+from repro.offline.convergecast import (
+    INFINITY,
+    foremost_arrival_times,
+    opt,
+    successive_convergecasts,
+)
+from repro.ratio.kernels import (
+    foremost_arrival_matrix,
+    opt_end_matrix,
+    sequence_index_blocks,
+    successive_convergecast_end_matrix,
+)
+from repro.ratio.semantics import (
+    RATIO_UNDEFINED,
+    UNREACHABLE,
+    competitive_ratio,
+    opt_cost_from_end,
+)
+
+
+def random_sequence(rng: random.Random, n: int, length: int) -> InteractionSequence:
+    pairs = []
+    for _ in range(length):
+        u = rng.randrange(n)
+        v = rng.randrange(n - 1)
+        if v >= u:
+            v += 1
+        pairs.append((u, v))
+    return InteractionSequence.from_pairs(pairs)
+
+
+def single_row(sequence: InteractionSequence, n: int):
+    index_of = {node: node for node in range(n)}
+    i, j = sequence_index_blocks(sequence, index_of)
+    return i[None, :], j[None, :], np.array([len(sequence)], dtype=np.int64)
+
+
+class TestForemostArrivalMatrix:
+    def test_matches_oracle_on_random_sequences(self):
+        rng = random.Random(7)
+        for _ in range(120):
+            n = rng.randint(2, 9)
+            sequence = random_sequence(rng, n, rng.randint(0, 90))
+            start = rng.randint(0, max(len(sequence), 1))
+            I, J, lengths = single_row(sequence, n)
+            kernel = foremost_arrival_matrix(I, J, lengths, n, 0, starts=start)
+            oracle = foremost_arrival_times(
+                sequence, list(range(n)), 0, start=start
+            )
+            for node in range(n):
+                assert kernel[0, node] == float(oracle[node])
+
+    def test_disconnected_node_is_unreachable(self):
+        # Node 3 never interacts: its arrival must be the inf sentinel.
+        sequence = InteractionSequence.from_pairs([(1, 0), (2, 0), (1, 2)])
+        I, J, lengths = single_row(sequence, 4)
+        kernel = foremost_arrival_matrix(I, J, lengths, 4, 0)
+        assert kernel[0, 3] == UNREACHABLE
+
+    def test_rows_with_different_lengths_and_padding(self):
+        rng = random.Random(13)
+        n = 6
+        sequences = [random_sequence(rng, n, length) for length in (0, 5, 40, 17)]
+        index_of = {node: node for node in range(n)}
+        blocks = [sequence_index_blocks(s, index_of) for s in sequences]
+        width = max(len(s) for s in sequences)
+        I = np.zeros((len(sequences), width), dtype=np.int64)
+        J = np.zeros((len(sequences), width), dtype=np.int64)
+        for row, (i, j) in enumerate(blocks):
+            I[row, : i.shape[0]] = i
+            J[row, : j.shape[0]] = j
+        lengths = np.array([len(s) for s in sequences], dtype=np.int64)
+        kernel = foremost_arrival_matrix(I, J, lengths, n, 0)
+        for row, sequence in enumerate(sequences):
+            oracle = foremost_arrival_times(sequence, list(range(n)), 0)
+            for node in range(n):
+                assert kernel[row, node] == float(oracle[node])
+
+    def test_empty_batch(self):
+        I = np.empty((0, 0), dtype=np.int64)
+        arrival = foremost_arrival_matrix(I, I, np.empty(0, dtype=np.int64), 4, 0)
+        assert arrival.shape == (0, 4)
+
+
+class TestOptEndMatrix:
+    def test_matches_oracle_including_unreachable(self):
+        rng = random.Random(21)
+        for _ in range(120):
+            n = rng.randint(2, 8)
+            sequence = random_sequence(rng, n, rng.randint(0, 60))
+            I, J, lengths = single_row(sequence, n)
+            for start in (0, len(sequence) // 2, len(sequence)):
+                kernel = opt_end_matrix(I, J, lengths, n, 0, starts=start)
+                assert kernel[0] == float(
+                    opt(sequence, list(range(n)), 0, start=start)
+                )
+
+    def test_per_row_starts(self):
+        rng = random.Random(3)
+        n = 5
+        sequence = random_sequence(rng, n, 50)
+        index_of = {node: node for node in range(n)}
+        i, j = sequence_index_blocks(sequence, index_of)
+        batch = 4
+        I = np.tile(i, (batch, 1))
+        J = np.tile(j, (batch, 1))
+        lengths = np.full(batch, len(sequence), dtype=np.int64)
+        starts = np.array([0, 7, 20, 49], dtype=np.int64)
+        kernel = opt_end_matrix(I, J, lengths, n, 0, starts=starts)
+        for row, start in enumerate(starts.tolist()):
+            assert kernel[row] == float(
+                opt(sequence, list(range(n)), 0, start=start)
+            )
+
+    def test_committed_adversary_cell(self):
+        nodes = list(range(7))
+        adversaries = [
+            make_adversary(family, nodes, seed=seed, max_horizon=4000, sink=0)
+            for family in ("uniform", "zipf", "hub", "waypoint", "community")
+            for seed in (0, 1)
+        ]
+        stops = [150 + 17 * k for k in range(len(adversaries))]
+        for adversary, stop in zip(adversaries, stops):
+            adversary.ensure_committed(stop)
+        I, J, lengths = CommittedBlockAdversary.committed_index_matrix(
+            adversaries, 0, stops, pad=0
+        )
+        kernel = opt_end_matrix(I, J, lengths, len(nodes), 0)
+        for row, (adversary, stop) in enumerate(zip(adversaries, stops)):
+            sequence = adversary.committed_prefix(stop)
+            assert kernel[row] == float(opt(sequence, nodes, 0))
+
+
+class TestSuccessiveConvergecastMatrix:
+    def test_matches_oracle_with_inf_tail_convention(self):
+        rng = random.Random(5)
+        count = 6
+        for _ in range(80):
+            n = rng.randint(2, 7)
+            sequence = random_sequence(rng, n, rng.randint(0, 80))
+            I, J, lengths = single_row(sequence, n)
+            kernel = successive_convergecast_end_matrix(
+                I, J, lengths, n, 0, count
+            )
+            oracle = successive_convergecasts(
+                sequence, list(range(n)), 0, count=count
+            )
+            for position in range(count):
+                expected = (
+                    float(oracle[position])
+                    if position < len(oracle)
+                    else INFINITY
+                )
+                assert kernel[0, position] == expected
+
+    def test_rejects_non_positive_count(self):
+        I = np.zeros((1, 0), dtype=np.int64)
+        with pytest.raises(ValueError, match="count"):
+            successive_convergecast_end_matrix(
+                I, I, np.array([0]), 3, 0, 0
+            )
+
+
+class TestHardenedSuccessiveConvergecasts:
+    """Satellite: impossible aggregations return sentinels, never hang."""
+
+    def test_trace_replay_that_never_completes(self):
+        # A finite committed trace whose node 3 never meets anyone: the
+        # trace replays fine, but no convergecast ever completes.  opt and
+        # successive_convergecasts must answer with the documented INFINITY
+        # sentinel instead of raising or looping.
+        trace = InteractionSequence.from_pairs([(1, 0), (2, 0), (1, 2), (2, 1)])
+        adversary = TraceReplayAdversary(trace, nodes=[0, 1, 2, 3])
+        sequence = adversary.committed_prefix(50)
+        assert adversary.future_exhausted
+        nodes = adversary.nodes()
+        assert opt(sequence, nodes, 0) == INFINITY
+        values = successive_convergecasts(sequence, nodes, 0)
+        assert values == [INFINITY]
+        values = successive_convergecasts(sequence, nodes, 0, count=4)
+        assert values == [INFINITY]
+
+    def test_disconnected_tail(self):
+        # Aggregation possible once, then the sequence ends: the second
+        # convergecast is INFINITY and the enumeration stops.
+        sequence = InteractionSequence.from_pairs([(2, 1), (1, 0)])
+        values = successive_convergecasts(sequence, [0, 1, 2], 0)
+        assert values[0] == 1
+        assert values[-1] == INFINITY
+
+    def test_degenerate_single_node_instance_terminates(self):
+        # opt() on a <= 1-node instance cannot advance the start; the
+        # enumeration must stop instead of looping forever (regression:
+        # this used to hang with count=None on any sequence longer than 1).
+        sequence = InteractionSequence.from_pairs([(1, 2), (2, 3), (1, 3)])
+        values = successive_convergecasts(sequence, [0], 0)
+        assert len(values) <= 2
+        assert all(not math.isnan(value) for value in values)
+        values = successive_convergecasts(sequence, [0], 0, count=5)
+        assert len(values) <= 5
+
+    def test_count_must_be_positive(self):
+        sequence = InteractionSequence.from_pairs([(1, 0)])
+        with pytest.raises(ValueError, match="count"):
+            successive_convergecasts(sequence, [0, 1], 0, count=0)
+
+
+class TestRatioSemantics:
+    def test_opt_cost_from_end(self):
+        assert opt_cost_from_end(4) == 5.0
+        assert isinstance(opt_cost_from_end(4), float)
+        assert opt_cost_from_end(UNREACHABLE) == UNREACHABLE
+
+    def test_ratio_conventions(self):
+        assert competitive_ratio(10.0, 5.0) == 2.0
+        assert competitive_ratio(5.0, 5.0) == 1.0
+        assert competitive_ratio(math.inf, 5.0) == math.inf
+        assert math.isnan(competitive_ratio(10.0, UNREACHABLE))
+        assert math.isnan(RATIO_UNDEFINED)
+
+    def test_degenerate_zero_cost(self):
+        assert competitive_ratio(0.0, 0.0) == 1.0
