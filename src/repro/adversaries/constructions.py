@@ -21,9 +21,8 @@ Each construction follows the corresponding proof literally:
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..core.algorithm import DODAAlgorithm
 from ..core.data import NodeId
@@ -199,7 +198,9 @@ class Theorem2Construction:
         """``I^length``: interaction ``{u_{i mod (n-1)}, s}`` at each time i."""
         return [(f"u{i % (self.n - 1)}", "s") for i in range(length)]
 
-    def build(self, algorithm_factory) -> EventuallyPeriodicAdversary:
+    def build(
+        self, algorithm_factory: Callable[[], DODAAlgorithm]
+    ) -> EventuallyPeriodicAdversary:
         """Construct the adversary for the algorithm built by ``algorithm_factory``.
 
         Args:
@@ -215,7 +216,6 @@ class Theorem2Construction:
         nodes = self.node_names()
         sink = self.sink()
         max_prefix = self.max_prefix or 4 * self.n
-        rng = random.Random(self.seed)
 
         # Monte-Carlo estimate of, for each prefix length l, the probability
         # that no node has transmitted yet, and of which nodes still own data.
@@ -236,7 +236,7 @@ class Theorem2Construction:
                 t.sender for t in result.transmissions if t.time <= first
             }
             bucket = still_owns_after.setdefault(first, {})
-            for node in owners_after_first:
+            for node in sorted(owners_after_first, key=str):
                 bucket[node] = bucket.get(node, 0) + 1
 
         # l0 = smallest l such that P(no transmission during I^l) < 1/n,
@@ -245,10 +245,10 @@ class Theorem2Construction:
         l0 = max_prefix
         sorted_first = sorted(first_transmission)
         trials = len(sorted_first)
-        for l in range(1, max_prefix + 1):
-            not_transmitted = sum(1 for f in sorted_first if f >= l) / trials
+        for length in range(1, max_prefix + 1):
+            not_transmitted = sum(1 for f in sorted_first if f >= length) / trials
             if not_transmitted < threshold:
-                l0 = l
+                l0 = length
                 break
 
         # u_d: a node, different from u_{l0-1 mod (n-1)} (the node interacting

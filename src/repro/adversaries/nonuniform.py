@@ -20,9 +20,7 @@ algorithms unchanged under the skewed distribution.
 
 from __future__ import annotations
 
-import bisect
 import itertools
-import random
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -93,7 +91,13 @@ class NonUniformRandomizedAdversary(CommittedBlockAdversary):
             running += weight / total
             self._cumulative.append(running)
         self._cumulative[-1] = 1.0
-        self._rng = random.Random(seed)
+        self._cdf = np.asarray(self._cumulative, dtype=np.float64)
+        # Seeded PCG64 stream (seeds arrive derived via repro.sim.seeding);
+        # the stdlib-random stream this replaces was never byte-pinned — the
+        # committed-future contract only requires draws to be a pure,
+        # chunk-alignment-independent function of the seed, which a single
+        # Generator consumed in commit order satisfies.
+        self._rng = np.random.Generator(np.random.PCG64(seed))
 
     # ------------------------------------------------------------------ #
     def pair_probability(self, u: NodeId, v: NodeId) -> float:
@@ -106,18 +110,19 @@ class NonUniformRandomizedAdversary(CommittedBlockAdversary):
         return self._cumulative[index] - lower
 
     def _sample_block(self, k: int) -> Tuple[np.ndarray, np.ndarray]:
-        """Draw ``k`` pairs by inverse-CDF sampling, one ``random()`` each.
+        """Draw ``k`` pairs by inverse-CDF sampling, one uniform each.
 
         Exactly one RNG value is consumed per committed interaction, in
-        commit order, so the committed future is a pure prefix-deterministic
-        function of the seed regardless of chunk alignment.
+        commit order (PCG64 doubles are generated sequentially, so a block
+        draw of ``k`` equals ``k`` single draws), keeping the committed
+        future a pure prefix-deterministic function of the seed regardless
+        of chunk alignment.
         """
-        cumulative = self._cumulative
         last = len(self._pairs) - 1
-        picks = np.empty(k, dtype=np.int64)
-        for position in range(k):
-            point = self._rng.random()
-            picks[position] = min(bisect.bisect_left(cumulative, point), last)
+        points = self._rng.random(k)
+        picks = np.minimum(
+            np.searchsorted(self._cdf, points, side="left"), last
+        ).astype(np.int64)
         chosen = self._pair_indices[picks]
         return chosen[:, 0].copy(), chosen[:, 1].copy()
 

@@ -156,7 +156,7 @@ def _atomic_write(path: Path, payload: bytes) -> None:
 class CampaignStore:
     """Checkpointed result store of one campaign (see module docstring)."""
 
-    def __init__(self, directory: "str | Path"):
+    def __init__(self, directory: "str | Path") -> None:
         self.directory = Path(directory)
         self.manifest_path = self.directory / MANIFEST_NAME
         self.cell_dir = self.directory / _CELL_DIR
@@ -320,7 +320,7 @@ class CampaignStore:
         shard = self.shard_path(cell_key)
         if not shard.exists():
             raise CampaignStoreError(f"missing cell shard {shard}")
-        records = []
+        records: List[Dict[str, Any]] = []
         try:
             for line in shard.read_text(encoding="utf-8").splitlines():
                 if line.strip():

@@ -16,7 +16,7 @@ associative/commutative aggregation function.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, FrozenSet, Hashable, Iterable, Optional
 
 NodeId = Hashable

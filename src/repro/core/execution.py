@@ -19,14 +19,14 @@ randomized adversaries).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Iterable, List, Optional, Protocol, Sequence, Tuple, Union
 
 from .algorithm import DODAAlgorithm
 from .data import AggregationFunction, NodeId, SUM
 from .exceptions import ConfigurationError, ModelViolationError
 from .interaction import Interaction, InteractionSequence
-from .node import NetworkState, NodeView
+from .node import NetworkState
 
 
 class InteractionProvider(Protocol):

@@ -45,7 +45,7 @@ per-instance precomputation across trials.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, Iterable, List, Optional, Set, Tuple, Union
+from typing import Any, Dict, Iterable, List, Optional, Set, Union
 
 from .algorithm import DODAAlgorithm
 from .data import AggregationFunction, NodeId, SUM

@@ -20,7 +20,7 @@ from __future__ import annotations
 import shutil
 import tempfile
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Sequence
 
 from ..campaign.report import build_campaign_report
 from ..campaign.runner import run_campaign

@@ -13,7 +13,7 @@ algorithms and check the two properties each proof establishes:
 from __future__ import annotations
 
 import math
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, Optional
 
 from ..adversaries.constructions import (
     Theorem1Adversary,

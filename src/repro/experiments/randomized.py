@@ -16,7 +16,7 @@ never the measured numbers.
 from __future__ import annotations
 
 import math
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import List, Sequence
 
 from ..algorithms.full_knowledge import FullKnowledge
 from ..algorithms.future_broadcast import FutureBroadcast
@@ -34,13 +34,12 @@ from ..analysis.bounds import (
     waiting_expected_exact,
 )
 from ..analysis.fitting import fit_power_law, ratio_drift
-from ..analysis.statistics import fraction_within, geometric_sweep
+from ..analysis.statistics import fraction_within
 from ..core.cost import cost_of_result
 from ..core.execution import Executor
-from ..core.interaction import InteractionSequence
 from ..graph.generators import uniform_random_sequence
 from ..offline.broadcast import broadcast_completion_time
-from ..offline.convergecast import INFINITY, opt as offline_opt
+from ..offline.convergecast import opt as offline_opt
 from ..sim.parallel import sweep_random_adversary
 from ..sim.results import ExperimentReport, ResultTable
 from ..sim.runner import resolve_engine, run_random_trial
@@ -241,7 +240,9 @@ def run_corollary1(
         f"fitted exponent {fit.exponent:.2f}; log-slope vs n log n {drift:+.2f}"
     )
     verdict = abs(drift) <= 0.4 and all(
-        point.termination_rate == 1.0 for point in sweep.points
+        # rate = terminated/trials <= 1, so ">= 1.0" is "all terminated".
+        point.termination_rate >= 1.0
+        for point in sweep.points
     )
     return ExperimentReport(
         experiment_id="E9",

@@ -9,13 +9,13 @@ meeting statistics.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Tuple
 
 import networkx as nx
 
 from ..core.data import NodeId
 from ..core.exceptions import InvalidInteractionError
-from ..core.interaction import Interaction, InteractionSequence
+from ..core.interaction import InteractionSequence
 
 
 @dataclass(frozen=True)

@@ -15,12 +15,12 @@ This module provides both directions of the conversion:
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Iterable, List, Sequence, Tuple
 
 import networkx as nx
 
 from ..core.data import NodeId
-from ..core.interaction import Interaction, InteractionSequence
+from ..core.interaction import InteractionSequence
 
 
 def to_evolving_graph(

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import random
 from itertools import combinations
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import networkx as nx
 

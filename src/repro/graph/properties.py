@@ -8,16 +8,14 @@ of any aggregation at all), and simple summary statistics used in reports.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 import networkx as nx
 
 from ..core.data import NodeId
-from ..core.interaction import InteractionSequence
 from .dynamic_graph import DynamicGraph
-from .journeys import earliest_arrivals_from, is_temporally_connected_to
+from .journeys import is_temporally_connected_to
 
 
 @dataclass(frozen=True)

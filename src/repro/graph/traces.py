@@ -25,12 +25,11 @@ from __future__ import annotations
 
 import math
 import random
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
 
 from ..core.data import NodeId
 from ..core.exceptions import ConfigurationError
-from ..core.interaction import InteractionSequence
 from .dynamic_graph import DynamicGraph
 
 
@@ -144,7 +143,9 @@ class RandomWaypointTrace:
             dx, dy = destinations[node]
             distance = math.hypot(dx - x, dy - y)
             step = speeds[node]
-            if distance <= step or distance == 0.0:
+            # distance >= 0 and step > 0, so this also catches the
+            # already-arrived (distance 0) case without a float equality.
+            if distance <= step:
                 positions[node] = destinations[node]
                 destinations[node] = (rng.random(), rng.random())
                 speeds[node] = rng.uniform(*self.speed_range)

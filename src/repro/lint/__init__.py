@@ -1,0 +1,61 @@
+"""reprolint — AST-based determinism/invariant linter for this repository.
+
+The differential and property suites prove the determinism guarantees
+*dynamically*; this package enforces the underlying disciplines
+*statically*, at commit time, before any engine runs:
+
+* **RNG discipline** (RPL001-RPL003) — no stdlib ``random``, no legacy
+  ``np.random`` global state, ``Generator`` construction only in
+  allowlisted seeded modules;
+* **clock discipline** (RPL004) — no wall-clock reads in
+  result-determining code;
+* **sentinel discipline** (RPL005) — ``INFINITY`` / ``UNREACHABLE`` /
+  ``RATIO_UNDEFINED`` are imported, never re-defined;
+* **ordering discipline** (RPL006) — set iteration goes through
+  ``sorted(…)``;
+* **float-equality** (RPL007) — no bare ``==``/``!=`` on floats.
+
+Run ``python -m repro.lint src tools`` (configuration in
+``pyproject.toml`` under ``[tool.reprolint]``), or use the typed API:
+
+>>> from repro.lint import lint_source
+>>> [f.code for f in lint_source("import random\\n")]
+['RPL001']
+
+Full rule table and rationale: ``docs/determinism.md``.
+"""
+
+from __future__ import annotations
+
+from .api import PARSE_ERROR_CODE, collect_files, lint_file, lint_paths, lint_source
+from .cli import main
+from .config import (
+    DEFAULT_ALLOW,
+    LintConfig,
+    LintConfigError,
+    discover_config,
+    load_config,
+)
+from .framework import Finding, ModuleContext, Rule, all_rules, rule_table
+from .suppress import SuppressionMap, parse_suppressions
+
+__all__ = [
+    "DEFAULT_ALLOW",
+    "Finding",
+    "LintConfig",
+    "LintConfigError",
+    "ModuleContext",
+    "PARSE_ERROR_CODE",
+    "Rule",
+    "SuppressionMap",
+    "all_rules",
+    "collect_files",
+    "discover_config",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "load_config",
+    "main",
+    "parse_suppressions",
+    "rule_table",
+]

@@ -1,0 +1,120 @@
+"""Typed public API of the reprolint analyzer.
+
+Three entry points, layered so each is independently testable:
+
+* :func:`lint_source` — rules over one in-memory module (fixture tests);
+* :func:`lint_file` — one file on disk, with suppression comments and
+  config allowlists applied;
+* :func:`lint_paths` — recursive collection over files/directories in a
+  deterministic order (the CLI's engine).
+
+All three return sorted :class:`~repro.lint.framework.Finding` lists and
+never print; presentation is the CLI's job.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence
+
+from . import checks as _checks  # noqa: F401  (importing registers the rules)
+from .config import LintConfig
+from .framework import Finding, ModuleContext, Rule, all_rules, check_module
+from .suppress import parse_suppressions
+
+__all__ = ["PARSE_ERROR_CODE", "collect_files", "lint_file", "lint_paths", "lint_source"]
+
+#: Pseudo-rule code reported when a target file does not parse at all.
+#: It deliberately sits outside the RPL001+ range of real rules and cannot
+#: be suppressed: an unparseable module is never lint-clean.
+PARSE_ERROR_CODE = "RPL900"
+
+
+def _active_rules(config: LintConfig, rules: Optional[Sequence[Rule]]) -> List[Rule]:
+    selected = list(rules) if rules is not None else all_rules()
+    return [rule for rule in selected if not config.is_rule_disabled(rule.code)]
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    config: Optional[LintConfig] = None,
+    rules: Optional[Sequence[Rule]] = None,
+) -> List[Finding]:
+    """Findings for one module given as source text.
+
+    Suppression comments and per-rule allowlists are honoured exactly as
+    for on-disk files; a syntax error yields a single
+    :data:`PARSE_ERROR_CODE` finding instead of raising.
+    """
+    active_config = config if config is not None else LintConfig()
+    display_path = (
+        active_config.normalize(path) if path != "<string>" else path
+    )
+    try:
+        tree = ast.parse(source, filename=display_path)
+    except SyntaxError as error:
+        return [
+            Finding(
+                path=display_path,
+                line=error.lineno or 1,
+                col=(error.offset or 1),
+                code=PARSE_ERROR_CODE,
+                message=f"module does not parse: {error.msg}",
+            )
+        ]
+    ctx = ModuleContext(
+        path=display_path, source=source, tree=tree, config=active_config
+    )
+    findings = check_module(ctx, _active_rules(active_config, rules))
+    findings = [
+        finding
+        for finding in findings
+        if not active_config.is_allowed(finding.code, path)
+    ]
+    return parse_suppressions(source).filter(findings)
+
+
+def lint_file(
+    path: "str | Path",
+    config: Optional[LintConfig] = None,
+    rules: Optional[Sequence[Rule]] = None,
+) -> List[Finding]:
+    """Findings for one file on disk (empty when the file is excluded)."""
+    active_config = config if config is not None else LintConfig()
+    if active_config.is_excluded(path):
+        return []
+    source = Path(path).read_text(encoding="utf-8")
+    return lint_source(source, path=str(path), config=active_config, rules=rules)
+
+
+def collect_files(paths: Iterable["str | Path"]) -> List[Path]:
+    """All ``.py`` files under ``paths``, deduplicated, in sorted order."""
+    collected: List[Path] = []
+    seen = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            candidates: Iterable[Path] = sorted(path.rglob("*.py"))
+        else:
+            candidates = [path]
+        for candidate in candidates:
+            key = candidate.resolve()
+            if key not in seen:
+                seen.add(key)
+                collected.append(candidate)
+    return collected
+
+
+def lint_paths(
+    paths: Iterable["str | Path"],
+    config: Optional[LintConfig] = None,
+    rules: Optional[Sequence[Rule]] = None,
+) -> List[Finding]:
+    """Findings over files and directory trees, in deterministic order."""
+    active_config = config if config is not None else LintConfig()
+    findings: List[Finding] = []
+    for path in collect_files(paths):
+        findings.extend(lint_file(path, config=active_config, rules=rules))
+    return sorted(findings)

@@ -1,0 +1,632 @@
+"""The reprolint rule set: this repository's determinism invariants as AST checks.
+
+Every guarantee the reproduction makes — engines transmission-identical,
+fresh ≡ resumed campaigns byte-for-byte, committed futures a pure function
+of the seed — is a determinism property.  The differential suites enforce
+them dynamically; these rules enforce the *disciplines* that make them
+hold statically, at commit time:
+
+======  ====================  ==================================================
+code    name                  flags
+======  ====================  ==================================================
+RPL001  stdlib-random         ``import random`` / ``from random import …``
+RPL002  numpy-global-rng      legacy ``np.random.<fn>()`` global-state calls
+RPL003  rng-construction      ``default_rng``/``Generator``/bit-generator
+                              construction outside the seeded-adversary
+                              allowlist
+RPL004  wall-clock            ``time.time``/``datetime.now``-style reads in
+                              result-determining modules
+RPL005  sentinel-redefinition re-defining ``INFINITY``/``UNREACHABLE``/
+                              ``RATIO_UNDEFINED`` instead of importing them
+RPL006  unordered-iteration   iterating a set-typed expression without
+                              ``sorted(…)``
+RPL007  float-equality        ``==``/``!=`` against float-typed expressions
+======  ====================  ==================================================
+
+The rules are heuristic by design (no type inference): they only fire on
+syntactic shapes that are unambiguous in this codebase, and every firing
+site has three escapes — fix the code, a per-line
+``# reprolint: disable=RPLxxx`` with a justification, or a pyproject
+allowlist entry reviewed in one place.  See ``docs/determinism.md`` for
+the full rationale table.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import ClassVar, Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
+
+from .framework import Finding, ModuleContext, Rule, register
+
+__all__ = [
+    "FloatEqualityRule",
+    "NumpyGlobalRngRule",
+    "RngConstructionRule",
+    "SentinelRedefinitionRule",
+    "StdlibRandomRule",
+    "UnorderedIterationRule",
+    "WallClockRule",
+]
+
+
+# --------------------------------------------------------------------- #
+# Shared AST helpers
+# --------------------------------------------------------------------- #
+def _module_aliases(tree: ast.Module, module: str) -> Set[str]:
+    """Local names bound to ``module`` by ``import`` statements.
+
+    ``import numpy`` binds ``numpy``; ``import numpy as np`` binds ``np``.
+    Submodule imports (``import numpy.random``) bind the top name.
+    """
+    aliases: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == module or alias.name.startswith(module + "."):
+                    aliases.add(alias.asname or alias.name.split(".")[0])
+    return aliases
+
+
+def _from_import_bindings(tree: ast.Module, module: str) -> Dict[str, str]:
+    """``local name -> imported name`` for ``from module import …`` statements."""
+    bindings: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module == module:
+            for alias in node.names:
+                bindings[alias.asname or alias.name] = alias.name
+    return bindings
+
+
+def _attr_chain(node: ast.AST) -> Optional[Tuple[str, ...]]:
+    """``("np", "random", "seed")`` for ``np.random.seed``; None otherwise."""
+    parts: List[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if isinstance(current, ast.Name):
+        parts.append(current.id)
+        return tuple(reversed(parts))
+    return None
+
+
+# --------------------------------------------------------------------- #
+# RNG discipline
+# --------------------------------------------------------------------- #
+@register
+class StdlibRandomRule(Rule):
+    """RPL001: the stdlib ``random`` module is banned.
+
+    ``random`` is process-global Mersenne-Twister state: any import can
+    consume or reseed a stream another module depends on, and its draws
+    are not derivable from :func:`repro.sim.seeding.derive_seed`.  Frozen
+    legacy streams (byte-compat pinned by tests or RNG-exact kernels)
+    live on the pyproject allowlist with a documented rationale.
+    """
+
+    code = "RPL001"
+    name = "stdlib-random"
+    summary = "stdlib `random` import (process-global Mersenne state)"
+    rationale = (
+        "committed futures must be a pure function of the seed; use a "
+        "seeded np.random.Generator derived via repro.sim.seeding"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random" or alias.name.startswith("random."):
+                        yield ctx.finding(
+                            node,
+                            self.code,
+                            "import of stdlib 'random'; draw from a seeded "
+                            "np.random.Generator (repro.sim.seeding) instead",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "random" or (
+                    node.module and node.module.startswith("random.")
+                ):
+                    yield ctx.finding(
+                        node,
+                        self.code,
+                        "from-import of stdlib 'random'; draw from a seeded "
+                        "np.random.Generator (repro.sim.seeding) instead",
+                    )
+
+
+#: numpy.random attributes that touch the *global* legacy RandomState.
+_NP_LEGACY = frozenset(
+    {
+        "seed",
+        "random",
+        "random_sample",
+        "ranf",
+        "sample",
+        "rand",
+        "randn",
+        "randint",
+        "random_integers",
+        "choice",
+        "shuffle",
+        "permutation",
+        "uniform",
+        "normal",
+        "standard_normal",
+        "binomial",
+        "poisson",
+        "exponential",
+        "geometric",
+        "beta",
+        "gamma",
+        "bytes",
+        "get_state",
+        "set_state",
+    }
+)
+
+#: numpy.random attributes that construct new generators / bit generators.
+_NP_CONSTRUCTORS = frozenset(
+    {"default_rng", "Generator", "PCG64", "PCG64DXSM", "Philox", "MT19937", "SFC64"}
+)
+
+
+class _NumpyRandomAttrMixin(Rule):
+    """Shared detection of ``<numpy alias>.random.<attr>`` references."""
+
+    _attrs: ClassVar[FrozenSet[str]] = frozenset()
+
+    #: When True, only call sites are flagged (type annotations and other
+    #: bare references to e.g. ``np.random.Generator`` stay legal).
+    _calls_only: ClassVar[bool] = False
+
+    def _matches(self, ctx: ModuleContext) -> Iterator[Tuple[ast.AST, str]]:
+        numpy_aliases = _module_aliases(ctx.tree, "numpy")
+        from_np_random = _from_import_bindings(ctx.tree, "numpy.random")
+        from_np = _from_import_bindings(ctx.tree, "numpy")
+        # `from numpy import random [as r]` exposes the same attributes.
+        random_aliases = {
+            local for local, name in from_np.items() if name == "random"
+        }
+        call_funcs = {
+            id(node.func)
+            for node in ast.walk(ctx.tree)
+            if isinstance(node, ast.Call)
+        }
+        for node in ast.walk(ctx.tree):
+            if self._calls_only and id(node) not in call_funcs:
+                continue
+            if isinstance(node, ast.Attribute):
+                chain = _attr_chain(node)
+                if chain is None:
+                    continue
+                matched = (
+                    len(chain) == 3
+                    and chain[0] in numpy_aliases
+                    and chain[1] == "random"
+                    and chain[2] in self._attrs
+                ) or (
+                    len(chain) == 2
+                    and chain[0] in random_aliases
+                    and chain[1] in self._attrs
+                )
+                if matched:
+                    yield node, chain[-1]
+            elif isinstance(node, ast.Name) and node.id in from_np_random:
+                imported = from_np_random[node.id]
+                if imported in self._attrs and not isinstance(
+                    node.ctx, (ast.Store, ast.Del)
+                ):
+                    yield node, imported
+
+
+@register
+class NumpyGlobalRngRule(_NumpyRandomAttrMixin):
+    """RPL002: legacy ``np.random.<fn>()`` global-state calls are banned.
+
+    The module-level numpy RandomState is shared across the whole
+    process; a call anywhere perturbs every other consumer, and workers
+    forked at different times silently diverge.  There is no allowlist —
+    the modern ``Generator`` API covers every use.
+    """
+
+    code = "RPL002"
+    name = "numpy-global-rng"
+    summary = "legacy np.random.<fn> call on the process-global RandomState"
+    rationale = (
+        "global numpy RNG state breaks seed-purity and worker determinism; "
+        "use an explicit np.random.Generator"
+    )
+    _attrs = _NP_LEGACY
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node, attr in self._matches(ctx):
+            yield ctx.finding(
+                node,
+                self.code,
+                f"legacy global np.random.{attr}; use an explicit seeded "
+                "np.random.Generator",
+            )
+
+
+@register
+class RngConstructionRule(_NumpyRandomAttrMixin):
+    """RPL003: ``Generator``/bit-generator construction is centralized.
+
+    Constructing a generator is where a seed enters the system; outside
+    the allowlisted seeded-adversary modules (whose seeds flow from
+    :func:`repro.sim.seeding.derive_seed`) an ad-hoc ``default_rng()``
+    is an unseeded — hence unreproducible — entropy source.
+    """
+
+    code = "RPL003"
+    name = "rng-construction"
+    summary = "np.random Generator/bit-generator construction outside the allowlist"
+    rationale = (
+        "every RNG stream must trace back to a derive_seed()-derived seed; "
+        "construction sites are allowlisted and reviewed"
+    )
+    _attrs = _NP_CONSTRUCTORS
+    _calls_only = True
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node, attr in self._matches(ctx):
+            yield ctx.finding(
+                node,
+                self.code,
+                f"np.random.{attr} constructed outside the seeded-RNG "
+                "allowlist ([tool.reprolint.allow] RPL003)",
+            )
+
+
+# --------------------------------------------------------------------- #
+# Clock discipline
+# --------------------------------------------------------------------- #
+#: Wall-clock reads on the ``time`` module.  ``perf_counter``/``monotonic``
+#: are deliberately absent: they only ever feed elapsed-seconds telemetry,
+#: which the store keeps out of result bytes by construction.
+_TIME_BANNED = frozenset(
+    {"time", "time_ns", "ctime", "localtime", "gmtime", "asctime", "strftime"}
+)
+#: Wall-clock constructors on ``datetime``/``date`` classes.
+_DATETIME_BANNED = frozenset({"now", "utcnow", "today"})
+
+
+@register
+class WallClockRule(Rule):
+    """RPL004: wall-clock reads are banned in result-determining modules.
+
+    A timestamp that reaches a result file breaks fresh ≡ resumed
+    byte-identity.  The one legitimate consumer — manifest bookkeeping in
+    ``campaign/store.py``, whose fields the equality checks deliberately
+    ignore — is allowlisted in pyproject.
+    """
+
+    code = "RPL004"
+    name = "wall-clock"
+    summary = "time.time()/datetime.now()-style wall-clock read"
+    rationale = (
+        "timestamps in result-determining code break fresh-vs-resumed "
+        "byte-identity; keep them in allowlisted manifest bookkeeping"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        time_aliases = _module_aliases(ctx.tree, "time")
+        datetime_module_aliases = _module_aliases(ctx.tree, "datetime")
+        from_time = _from_import_bindings(ctx.tree, "time")
+        from_datetime = _from_import_bindings(ctx.tree, "datetime")
+        # Class names bound by `from datetime import datetime/date`.
+        datetime_classes = {
+            local
+            for local, name in from_datetime.items()
+            if name in {"datetime", "date"}
+        }
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Attribute):
+                chain = _attr_chain(node)
+                if chain is None:
+                    continue
+                if (
+                    len(chain) == 2
+                    and chain[0] in time_aliases
+                    and chain[1] in _TIME_BANNED
+                ):
+                    yield ctx.finding(
+                        node,
+                        self.code,
+                        f"wall-clock read time.{chain[1]}; results must not "
+                        "depend on the clock (allowlist: RPL004)",
+                    )
+                elif (
+                    len(chain) == 2
+                    and chain[0] in datetime_classes
+                    and chain[1] in _DATETIME_BANNED
+                ) or (
+                    len(chain) == 3
+                    and chain[0] in datetime_module_aliases
+                    and chain[1] in {"datetime", "date"}
+                    and chain[2] in _DATETIME_BANNED
+                ):
+                    yield ctx.finding(
+                        node,
+                        self.code,
+                        f"wall-clock read {'.'.join(chain)}; results must not "
+                        "depend on the clock (allowlist: RPL004)",
+                    )
+            elif isinstance(node, ast.Name) and not isinstance(
+                node.ctx, (ast.Store, ast.Del)
+            ):
+                if from_time.get(node.id) in _TIME_BANNED:
+                    yield ctx.finding(
+                        node,
+                        self.code,
+                        f"wall-clock read time.{from_time[node.id]} (imported "
+                        f"as {node.id}); results must not depend on the clock",
+                    )
+
+
+# --------------------------------------------------------------------- #
+# Sentinel discipline
+# --------------------------------------------------------------------- #
+#: Sentinel name -> the one module allowed to define it.
+_SENTINEL_OWNERS: Dict[str, str] = {
+    "INFINITY": "repro.offline.convergecast",
+    "UNREACHABLE": "repro.ratio.semantics",
+    "RATIO_UNDEFINED": "repro.ratio.semantics",
+}
+
+
+@register
+class SentinelRedefinitionRule(Rule):
+    """RPL005: determinism sentinels have exactly one definition site.
+
+    ``INFINITY``, ``UNREACHABLE`` and ``RATIO_UNDEFINED`` carry documented
+    comparison semantics (see ``docs/metrics.md``); a re-literal'd copy
+    can drift (``1e308``, ``float("inf")`` vs ``math.inf``, NaN identity)
+    and silently split the vocabulary.  Import them from their owner
+    module instead.
+    """
+
+    code = "RPL005"
+    name = "sentinel-redefinition"
+    summary = "re-definition of INFINITY/UNREACHABLE/RATIO_UNDEFINED"
+    rationale = (
+        "sentinels are single-definition vocabulary shared by engines, "
+        "kernels and stores; import them from the owning module"
+    )
+
+    @staticmethod
+    def _assigned_names(node: ast.AST) -> Iterator[Tuple[ast.AST, str]]:
+        targets: List[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = list(node.targets)
+        elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+            targets = [node.target]
+        for target in targets:
+            if isinstance(target, ast.Name):
+                yield target, target.id
+            elif isinstance(target, (ast.Tuple, ast.List)):
+                for element in target.elts:
+                    if isinstance(element, ast.Name):
+                        yield element, element.id
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            for target, name in self._assigned_names(node):
+                owner = _SENTINEL_OWNERS.get(name)
+                if owner is not None:
+                    yield ctx.finding(
+                        target,
+                        self.code,
+                        f"re-definition of sentinel {name}; import it from "
+                        f"{owner} instead",
+                    )
+
+
+# --------------------------------------------------------------------- #
+# Ordering discipline
+# --------------------------------------------------------------------- #
+#: Methods that only exist on set/frozenset and return sets.
+_SET_METHODS = frozenset(
+    {"difference", "union", "intersection", "symmetric_difference"}
+)
+#: Set-algebra binary operators.
+_SET_BINOPS = (ast.Sub, ast.BitOr, ast.BitAnd, ast.BitXor)
+
+
+class _SetExprClassifier:
+    """Syntactic 'is this expression a set?' check, with local-variable
+    tracking inside a single scope (module / function body)."""
+
+    def __init__(self, set_vars: Set[str]) -> None:
+        self._set_vars = set_vars
+
+    def is_set_expr(self, node: ast.expr) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Name):
+            return node.id in self._set_vars
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Name) and func.id in {"set", "frozenset"}:
+                return True
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in _SET_METHODS
+                and self.is_set_expr(func.value)
+            ):
+                return True
+            return False
+        if isinstance(node, ast.BinOp) and isinstance(node.op, _SET_BINOPS):
+            return self.is_set_expr(node.left) or self.is_set_expr(node.right)
+        return False
+
+
+def _scopes(tree: ast.Module) -> Iterator[ast.AST]:
+    yield tree
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            yield node
+
+
+def _direct_statements(scope: ast.AST) -> Iterator[ast.stmt]:
+    """Statements belonging to ``scope`` itself (not to nested functions)."""
+    body = getattr(scope, "body", [])
+    stack: List[ast.stmt] = list(body if isinstance(body, list) else [])
+    while stack:
+        statement = stack.pop()
+        yield statement
+        for child in ast.iter_child_nodes(statement):
+            if isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.ClassDef)
+            ):
+                continue
+            if isinstance(child, ast.stmt):
+                stack.append(child)
+            else:
+                stack.extend(
+                    grandchild
+                    for grandchild in ast.walk(child)
+                    if isinstance(grandchild, ast.stmt)
+                )
+
+
+@register
+class UnorderedIterationRule(Rule):
+    """RPL006: iterating a set must go through ``sorted(…)``.
+
+    Set iteration order depends on insertion history and hash seeding of
+    the element types; a loop or comprehension over a bare set expression
+    can leak that order into returned collections, error messages or
+    shards.  ``sorted(set_expr)`` (or ``min``/``max``/``sum``/``len``
+    consumption, which the rule ignores) makes the order explicit.
+    The check is scope-local and syntactic: set literals, ``set()`` /
+    ``frozenset()`` calls, set-algebra operators/methods over those, and
+    local variables directly assigned such an expression.
+    """
+
+    code = "RPL006"
+    name = "unordered-iteration"
+    summary = "iteration over an unordered set expression without sorted()"
+    rationale = (
+        "set order is insertion/hash dependent; ordering must be explicit "
+        "before it can reach results or messages"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        # ast.walk from an outer scope descends into nested functions too,
+        # which their own scope pass revisits — dedupe by location.
+        seen: Set[Tuple[int, int]] = set()
+        for scope in _scopes(ctx.tree):
+            statements = list(_direct_statements(scope))
+            # Pass 1: local names directly bound to a set expression.
+            bootstrap = _SetExprClassifier(set())
+            set_vars: Set[str] = set()
+            for statement in statements:
+                if isinstance(statement, ast.Assign) and bootstrap.is_set_expr(
+                    statement.value
+                ):
+                    for target in statement.targets:
+                        if isinstance(target, ast.Name):
+                            set_vars.add(target.id)
+                elif isinstance(statement, ast.AnnAssign) and (
+                    statement.value is not None
+                    and bootstrap.is_set_expr(statement.value)
+                    and isinstance(statement.target, ast.Name)
+                ):
+                    set_vars.add(statement.target.id)
+            classifier = _SetExprClassifier(set_vars)
+            # Pass 2: iteration sites.
+            for statement in statements:
+                for node in ast.walk(statement):
+                    iterables: List[ast.expr] = []
+                    if isinstance(node, (ast.For, ast.AsyncFor)):
+                        iterables.append(node.iter)
+                    elif isinstance(
+                        node, (ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp)
+                    ):
+                        iterables.extend(gen.iter for gen in node.generators)
+                    for iterable in iterables:
+                        target = iterable
+                        # Look through enumerate()/reversed() wrappers.
+                        if (
+                            isinstance(target, ast.Call)
+                            and isinstance(target.func, ast.Name)
+                            and target.func.id in {"enumerate", "reversed"}
+                            and target.args
+                        ):
+                            target = target.args[0]
+                        location = (target.lineno, target.col_offset)
+                        if classifier.is_set_expr(target) and location not in seen:
+                            seen.add(location)
+                            yield ctx.finding(
+                                target,
+                                self.code,
+                                "iteration over an unordered set expression; "
+                                "wrap it in sorted(...) so the order is "
+                                "explicit",
+                            )
+
+
+# --------------------------------------------------------------------- #
+# Float equality
+# --------------------------------------------------------------------- #
+_FLOAT_SENTINEL_NAMES = frozenset({"INFINITY", "UNREACHABLE", "RATIO_UNDEFINED"})
+
+
+def _is_floaty(node: ast.expr) -> bool:
+    """Syntactically certain to be a float: literals, inf/nan, float() calls."""
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, float)
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+        return _is_floaty(node.operand)
+    if isinstance(node, ast.Name):
+        return node.id in _FLOAT_SENTINEL_NAMES
+    if isinstance(node, ast.Attribute):
+        chain = _attr_chain(node)
+        return chain is not None and (
+            (chain[0] in {"math", "np", "numpy"} and chain[-1] in {"inf", "nan"})
+        )
+    if isinstance(node, ast.Call):
+        return isinstance(node.func, ast.Name) and node.func.id == "float"
+    return False
+
+
+@register
+class FloatEqualityRule(Rule):
+    """RPL007: ``==``/``!=`` against float-typed expressions.
+
+    Exact float equality is either a bug (``x == RATIO_UNDEFINED`` is
+    always False — NaN) or an implicit exactness claim that kernels can
+    break through re-association.  Use ``math.isinf``/``math.isnan`` for
+    sentinels, ``math.isclose`` for tolerances, or compare the underlying
+    integers; genuinely-exact comparisons carry a per-line disable with
+    the argument why.
+    """
+
+    code = "RPL007"
+    name = "float-equality"
+    summary = "exact ==/!= comparison against a float-typed expression"
+    rationale = (
+        "float equality hides exactness assumptions; prefer isinf/isnan/"
+        "isclose or integer comparison, and justify exact cases inline"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for index, op in enumerate(node.ops):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                left, right = operands[index], operands[index + 1]
+                if _is_floaty(left) or _is_floaty(right):
+                    symbol = "==" if isinstance(op, ast.Eq) else "!="
+                    yield ctx.finding(
+                        node,
+                        self.code,
+                        f"exact float {symbol} comparison; use math.isinf/"
+                        "isnan/isclose or compare integers (justify exact "
+                        "cases with a disable comment)",
+                    )

@@ -1,0 +1,130 @@
+"""Command-line driver: ``python -m repro.lint`` (also ``tools/reprolint.py``).
+
+Usage::
+
+    python -m repro.lint [PATHS ...] [--config PYPROJECT] [--no-config]
+                         [--format {text,json}] [--list-rules]
+
+Defaults to linting ``src`` and ``tools`` (the repository's lint
+surface).  Exit codes follow the usual analyzer convention:
+
+* ``0`` — no findings;
+* ``1`` — findings were reported (one ``path:line:col: CODE message``
+  line each, plus a summary count);
+* ``2`` — usage or configuration error (one clear line on stderr).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from .api import lint_paths
+from .config import LintConfig, LintConfigError, discover_config, load_config
+from .framework import Finding, rule_table
+
+__all__ = ["main"]
+
+_DEFAULT_PATHS = ("src", "tools")
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description=(
+            "reprolint: AST-based determinism/invariant linter for this "
+            "repository (RNG, clock, sentinel, ordering and float-equality "
+            "disciplines)."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: src tools)",
+    )
+    parser.add_argument(
+        "--config",
+        metavar="PYPROJECT",
+        help="explicit pyproject.toml (default: discovered upwards from cwd)",
+    )
+    parser.add_argument(
+        "--no-config",
+        action="store_true",
+        help="ignore pyproject.toml and built-in allowlists (bare rules only)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="finding output format (default: text)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule table (code, name, summary) and exit",
+    )
+    return parser
+
+
+def _resolve_config(args: argparse.Namespace) -> LintConfig:
+    if args.no_config:
+        if args.config:
+            raise LintConfigError("--config and --no-config are exclusive")
+        return LintConfig(root=Path.cwd(), allow={})
+    if args.config:
+        return load_config(args.config)
+    return discover_config()
+
+
+def _emit(findings: List[Finding], fmt: str) -> None:
+    if fmt == "json":
+        payload = [
+            {
+                "path": finding.path,
+                "line": finding.line,
+                "col": finding.col,
+                "code": finding.code,
+                "message": finding.message,
+            }
+            for finding in findings
+        ]
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return
+    for finding in findings:
+        print(finding.format())
+    if findings:
+        noun = "finding" if len(findings) == 1 else "findings"
+        print(f"reprolint: {len(findings)} {noun}")
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Run the linter; returns the process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.list_rules:
+        for code, name, summary in rule_table():
+            print(f"{code}  {name:<22}  {summary}")
+        return 0
+    try:
+        config = _resolve_config(args)
+        paths = list(args.paths) if args.paths else [
+            path for path in _DEFAULT_PATHS if Path(path).exists()
+        ]
+        if not paths:
+            raise LintConfigError(
+                "no paths given and neither ./src nor ./tools exists"
+            )
+        missing = [path for path in paths if not Path(path).exists()]
+        if missing:
+            raise LintConfigError(
+                f"no such file or directory: {', '.join(missing)}"
+            )
+        findings = lint_paths(paths, config=config)
+    except LintConfigError as error:
+        print(f"reprolint: error: {error}", file=sys.stderr)
+        return 2
+    _emit(findings, args.format)
+    return 1 if findings else 0

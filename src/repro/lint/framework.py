@@ -1,0 +1,155 @@
+"""Rule framework of the reprolint static analyzer.
+
+The analyzer is a thin orchestration layer over small, self-contained
+*rules*.  A rule is a class with a stable code (``RPL001`` …), a
+one-line summary, a rationale, and a :meth:`Rule.check` method that
+walks a parsed module and yields :class:`Finding` objects.  Rules are
+registered in a module-level registry keyed by code, so the CLI, the
+config layer, and the test-suite all enumerate exactly the same set.
+
+Design invariants:
+
+* **Findings are data.**  A :class:`Finding` is a frozen, ordered
+  dataclass — runs over the same tree produce identical, sortable output
+  regardless of rule evaluation order (the linter must itself satisfy the
+  determinism discipline it enforces).
+* **Rules never read the filesystem.**  They see a
+  :class:`ModuleContext` (path, source, parsed AST, config) prepared by
+  the driver, which keeps them trivially unit-testable from strings.
+* **Suppression is handled centrally** (see :mod:`repro.lint.suppress`):
+  rules yield every violation; the driver filters findings disabled by
+  ``# reprolint: disable=RPLxxx`` comments or config allowlists.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import ClassVar, Dict, Iterable, Iterator, List, Tuple, Type
+
+from .config import LintConfig
+
+__all__ = [
+    "Finding",
+    "ModuleContext",
+    "Rule",
+    "all_rules",
+    "register",
+    "rule_table",
+]
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One violation: a location, a rule code and a human-readable message."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def format(self) -> str:
+        """The canonical one-line rendering ``path:line:col: CODE message``."""
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+
+@dataclass(frozen=True)
+class ModuleContext:
+    """Everything a rule may look at for one module.
+
+    Attributes:
+        path: the module path as reported in findings — already
+            normalized relative to the config root (posix separators).
+        source: the raw module source text.
+        tree: the parsed ``ast.Module``.
+        config: the active :class:`~repro.lint.config.LintConfig`.
+    """
+
+    path: str
+    source: str
+    tree: ast.Module
+    config: LintConfig = field(default_factory=LintConfig)
+
+    def finding(self, node: ast.AST, code: str, message: str) -> Finding:
+        """A :class:`Finding` anchored at ``node``'s source location."""
+        return Finding(
+            path=self.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            code=code,
+            message=message,
+        )
+
+
+class Rule:
+    """Base class of all reprolint rules.
+
+    Subclasses set the class attributes and implement :meth:`check`;
+    registration happens through the :func:`register` decorator so that
+    defining a rule and exposing it to the CLI are one step.
+    """
+
+    #: Stable rule code, ``RPL`` + three digits.  Codes are append-only:
+    #: a retired rule's code is never reused.
+    code: ClassVar[str] = "RPL000"
+    #: Short kebab-case name used in ``--list-rules`` output.
+    name: ClassVar[str] = "base-rule"
+    #: One-line description of what the rule flags.
+    summary: ClassVar[str] = ""
+    #: Why the repo bans the flagged construct (shown in ``--list-rules``).
+    rationale: ClassVar[str] = ""
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        """Yield every violation in ``ctx`` (suppression is not the rule's job)."""
+        raise NotImplementedError
+        yield  # pragma: no cover - makes the signature a generator
+
+    # Helpers shared by several rules ---------------------------------- #
+    @staticmethod
+    def walk(tree: ast.Module) -> Iterator[ast.AST]:
+        """Deterministic pre-order walk of ``tree``."""
+        return ast.walk(tree)
+
+
+_REGISTRY: Dict[str, Type[Rule]] = {}
+
+
+def register(rule_class: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding ``rule_class`` to the global registry.
+
+    Raises:
+        ValueError: on a duplicate or malformed rule code, so two rules
+            can never silently share ``RPLxxx``.
+    """
+    code = rule_class.code
+    if not (code.startswith("RPL") and code[3:].isdigit() and len(code) == 6):
+        raise ValueError(f"malformed rule code {code!r} on {rule_class.__name__}")
+    if code in _REGISTRY:
+        raise ValueError(
+            f"duplicate rule code {code}: {rule_class.__name__} vs "
+            f"{_REGISTRY[code].__name__}"
+        )
+    _REGISTRY[code] = rule_class
+    return rule_class
+
+
+def all_rules() -> List[Rule]:
+    """Fresh instances of every registered rule, in code order."""
+    return [_REGISTRY[code]() for code in sorted(_REGISTRY)]
+
+
+def rule_table() -> List[Tuple[str, str, str]]:
+    """``(code, name, summary)`` rows for every registered rule, in code order."""
+    return [
+        (code, _REGISTRY[code].name, _REGISTRY[code].summary)
+        for code in sorted(_REGISTRY)
+    ]
+
+
+def check_module(ctx: ModuleContext, rules: Iterable[Rule]) -> List[Finding]:
+    """All findings of ``rules`` on one module, sorted canonically."""
+    findings: List[Finding] = []
+    for rule in rules:
+        findings.extend(rule.check(ctx))
+    return sorted(findings)

@@ -1,0 +1,94 @@
+"""Inline suppression comments (``# reprolint: disable=RPLxxx``).
+
+Two escape hatches, both grep-able and reviewable:
+
+* **Line scope** — a trailing comment on the offending line::
+
+      if ending == INFINITY:  # reprolint: disable=RPL007  (inf is exact)
+
+  ``disable`` takes a comma-separated code list, or no ``=`` part to
+  disable every rule on that line.
+
+* **File scope** — a comment line anywhere in the file::
+
+      # reprolint: disable-file=RPL001
+
+  disables the listed codes (or all rules, without ``=``) for the whole
+  module.  Reserved for generated files; prefer the pyproject
+  allowlists for real modules so the exception is visible in one place.
+
+Suppression is applied by the driver after rules run, so rule
+implementations stay oblivious to it.  Trailing text after the code
+list (a short justification) is encouraged and ignored by the parser.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List
+
+from .framework import Finding
+
+__all__ = ["SuppressionMap", "parse_suppressions"]
+
+#: Matches both scopes; group 1 is ``disable``/``disable-file``, group 2
+#: the optional comma-separated code list.
+_DIRECTIVE_RE = re.compile(
+    r"#\s*reprolint:\s*(disable-file|disable)\b\s*(?:=\s*([A-Z0-9,\s]+))?"
+)
+
+#: Sentinel meaning "every rule" for a scope without an explicit code list.
+ALL_CODES: FrozenSet[str] = frozenset({"*"})
+
+
+def _parse_codes(raw: "str | None") -> FrozenSet[str]:
+    if raw is None:
+        return ALL_CODES
+    codes = frozenset(code.strip() for code in raw.split(",") if code.strip())
+    return codes or ALL_CODES
+
+
+@dataclass(frozen=True)
+class SuppressionMap:
+    """Parsed suppression directives of one module."""
+
+    #: 1-based line number -> codes disabled on that line ("*" = all).
+    by_line: Dict[int, FrozenSet[str]] = field(default_factory=dict)
+    #: Codes disabled for the whole file ("*" = all).
+    file_wide: FrozenSet[str] = frozenset()
+
+    def is_suppressed(self, finding: Finding) -> bool:
+        """Whether ``finding`` is silenced by a directive."""
+        if "*" in self.file_wide or finding.code in self.file_wide:
+            return True
+        codes = self.by_line.get(finding.line)
+        if codes is None:
+            return False
+        return "*" in codes or finding.code in codes
+
+    def filter(self, findings: Iterable[Finding]) -> List[Finding]:
+        """``findings`` with every suppressed entry removed (order kept)."""
+        return [finding for finding in findings if not self.is_suppressed(finding)]
+
+
+def parse_suppressions(source: str) -> SuppressionMap:
+    """Extract the :class:`SuppressionMap` of one module's source text.
+
+    The scan is purely line-based: directives inside string literals are
+    honoured too, which is deliberate — an over-eager suppression is
+    visible in review, whereas a tokenizer dependency would be a heavier
+    contract for no real gain on this codebase.
+    """
+    by_line: Dict[int, FrozenSet[str]] = {}
+    file_wide: FrozenSet[str] = frozenset()
+    for number, line in enumerate(source.splitlines(), start=1):
+        match = _DIRECTIVE_RE.search(line)
+        if match is None:
+            continue
+        codes = _parse_codes(match.group(2))
+        if match.group(1) == "disable-file":
+            file_wide = file_wide | codes
+        else:
+            by_line[number] = by_line.get(number, frozenset()) | codes
+    return SuppressionMap(by_line=by_line, file_wide=file_wide)

@@ -13,7 +13,7 @@ be tested and the Θ(n log n) broadcast bound reproduced empirically.
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterable, List, Optional, Set
+from typing import Iterable, List, Set
 
 from ..core.data import NodeId
 from ..core.interaction import InteractionSequence

@@ -18,7 +18,7 @@ nodes that have already transmitted.
 from __future__ import annotations
 
 import math
-from typing import FrozenSet, Iterable, List, Optional, Set, Tuple
+from typing import FrozenSet, Iterable, Set
 
 from ..core.data import NodeId
 from ..core.interaction import InteractionSequence
@@ -55,7 +55,10 @@ def brute_force_opt(
             # Interactions involving nodes outside V cannot carry data of V.
             continue
         new_states: Set[FrozenSet[NodeId]] = set(states)
-        for transmitted in states:
+        # Order-independent: every candidate matching `target` returns the
+        # same interaction time, and new_states additions are commutative;
+        # sorting the frozensets here would only slow the hot DP loop.
+        for transmitted in states:  # reprolint: disable=RPL006
             if u in transmitted or v in transmitted:
                 continue
             # Either endpoint (except the sink) may be the one transmitting.

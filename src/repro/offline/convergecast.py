@@ -20,7 +20,7 @@ journey from ``u`` that starts at or after ``t``.  Foremost arrival times for
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Set
 
 from ..core.data import NodeId
 from ..core.exceptions import InvalidScheduleError
@@ -115,7 +115,7 @@ def convergecast_possible(
         return True
     arrivals = foremost_arrival_times(window, node_list, sink, start=0)
     return all(
-        arrivals[node] != INFINITY for node in node_list if node != sink
+        not math.isinf(arrivals[node]) for node in node_list if node != sink
     )
 
 
@@ -139,7 +139,7 @@ def build_convergecast_schedule(
     """
     node_list = list(nodes)
     completion = opt(sequence, node_list, sink, start=start)
-    if completion == INFINITY:
+    if math.isinf(completion):
         raise InvalidScheduleError(
             f"no convergecast starting at t={start} completes within the "
             f"sequence of length {len(sequence)}"
@@ -201,7 +201,7 @@ def successive_convergecasts(
     while count is None or len(values) < count:
         ending = opt(sequence, node_list, sink, start=start)
         values.append(ending)
-        if ending == INFINITY:
+        if math.isinf(ending):
             break
         next_start = int(ending) + 1
         if next_start <= start:

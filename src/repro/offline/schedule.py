@@ -19,7 +19,7 @@ time.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, Optional, Set, Tuple
 
 from ..core.data import NodeId
 from ..core.exceptions import InvalidScheduleError
@@ -164,8 +164,12 @@ def validate_schedule(
             )
 
     # Replay to confirm the sink collects everything.
-    owner_of_origin: Dict[NodeId, NodeId] = {node: node for node in node_set}
-    carried: Dict[NodeId, Set[NodeId]] = {node: {node} for node in node_set}
+    owner_of_origin: Dict[NodeId, NodeId] = {
+        node: node for node in sorted(node_set, key=str)
+    }
+    carried: Dict[NodeId, Set[NodeId]] = {
+        node: {node} for node in sorted(node_set, key=str)
+    }
     for transmission in schedule.transmissions:
         sender, receiver = transmission.sender, transmission.receiver
         carried[receiver] |= carried[sender]

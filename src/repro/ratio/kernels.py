@@ -60,8 +60,8 @@ def _starts_vector(starts: StartSpec, batch: int) -> np.ndarray:
 
 
 def foremost_arrival_matrix(
-    I: np.ndarray,
-    J: np.ndarray,
+    i_nodes: np.ndarray,
+    j_nodes: np.ndarray,
     lengths: np.ndarray,
     n: int,
     sink: int,
@@ -78,8 +78,9 @@ def foremost_arrival_matrix(
     oracle's convention.
 
     Args:
-        I, J: ``(B, L)`` dense node-index matrices (padding beyond a row's
-            length is ignored; any in-range value is acceptable padding).
+        i_nodes, j_nodes: ``(B, L)`` dense ``I``/``J`` node-index matrices
+            (padding beyond a row's length is ignored; any in-range value
+            is acceptable padding).
         lengths: per-row committed lengths, shape ``(B,)``.
         n: number of nodes (dense indices ``0..n-1``).
         sink: dense sink index.
@@ -88,11 +89,13 @@ def foremost_arrival_matrix(
     Returns:
         ``(B, n)`` float64 arrival-time matrix.
     """
-    I = _as_matrix(I)
-    J = _as_matrix(J)
-    batch, width = I.shape
-    if J.shape != I.shape:
-        raise ValueError(f"I/J shape mismatch: {I.shape} vs {J.shape}")
+    i_nodes = _as_matrix(i_nodes)
+    j_nodes = _as_matrix(j_nodes)
+    batch, width = i_nodes.shape
+    if j_nodes.shape != i_nodes.shape:
+        raise ValueError(
+            f"I/J shape mismatch: {i_nodes.shape} vs {j_nodes.shape}"
+        )
     lengths = np.asarray(lengths, dtype=np.int64)
     starts = _starts_vector(starts, batch)
     if batch == 0 or n == 0:
@@ -122,8 +125,8 @@ def foremost_arrival_matrix(
     for chunk_end in range(last, first, -_TIME_CHUNK):
         chunk_start = max(first, chunk_end - _TIME_CHUNK)
         span = slice(chunk_start, chunk_end)
-        it = np.ascontiguousarray(I.T[span])  # (T, B) time-major
-        jt = np.ascontiguousarray(J.T[span])
+        it = np.ascontiguousarray(i_nodes.T[span])  # (T, B) time-major
+        jt = np.ascontiguousarray(j_nodes.T[span])
         steps = chunk_end - chunk_start
         times = np.arange(chunk_start, chunk_end, dtype=np.int64)
         # Node-side flat indices (where a relaxation would write) and
@@ -167,8 +170,8 @@ def foremost_arrival_matrix(
 
 
 def opt_end_matrix(
-    I: np.ndarray,
-    J: np.ndarray,
+    i_nodes: np.ndarray,
+    j_nodes: np.ndarray,
     lengths: np.ndarray,
     n: int,
     sink: int,
@@ -182,22 +185,22 @@ def opt_end_matrix(
     :data:`~repro.ratio.semantics.UNREACHABLE` when none completes within
     the row's window.  Returns a ``(B,)`` float64 vector.
     """
-    I = _as_matrix(I)
-    batch = I.shape[0]
+    i_nodes = _as_matrix(i_nodes)
+    batch = i_nodes.shape[0]
     starts = _starts_vector(starts, batch)
     if n <= 1:
         # Degenerate single-node instances: nothing to aggregate (oracle
         # convention: the convergecast is already complete).
         return np.maximum(starts - 1, 0).astype(np.float64)
-    arrival = foremost_arrival_matrix(I, J, lengths, n, sink, starts=starts)
+    arrival = foremost_arrival_matrix(i_nodes, j_nodes, lengths, n, sink, starts=starts)
     non_sink = np.ones(n, dtype=bool)
     non_sink[sink] = False
     return arrival[:, non_sink].max(axis=1)
 
 
 def successive_convergecast_end_matrix(
-    I: np.ndarray,
-    J: np.ndarray,
+    i_nodes: np.ndarray,
+    j_nodes: np.ndarray,
     lengths: np.ndarray,
     n: int,
     sink: int,
@@ -218,9 +221,9 @@ def successive_convergecast_end_matrix(
     """
     if count < 1:
         raise ValueError(f"count must be >= 1, got {count}")
-    I = _as_matrix(I)
-    J = _as_matrix(J)
-    batch, width = I.shape
+    i_nodes = _as_matrix(i_nodes)
+    j_nodes = _as_matrix(j_nodes)
+    batch, width = i_nodes.shape
     lengths = np.asarray(lengths, dtype=np.int64)
     starts = _starts_vector(starts, batch).copy()
     ends = np.full((batch, count), UNREACHABLE, dtype=np.float64)
@@ -232,7 +235,7 @@ def successive_convergecast_end_matrix(
         # one matrix call serves every row each round.
         round_starts = np.where(active, starts, width)
         round_ends = opt_end_matrix(
-            I, J, lengths, n, sink, starts=round_starts
+            i_nodes, j_nodes, lengths, n, sink, starts=round_starts
         )
         ends[active, round_index] = round_ends[active]
         finite = np.isfinite(round_ends) & active

@@ -11,7 +11,7 @@ import io
 import json
 import math
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence
+from typing import Any, Dict, List
 
 
 def _format_cell(value: Any) -> str:

@@ -9,7 +9,7 @@ sequences without sharing RNG state across trials.
 from __future__ import annotations
 
 import hashlib
-from typing import Iterable, List
+from typing import List
 
 
 def derive_seed(master_seed: int, *components: object) -> int:

@@ -1,0 +1,9 @@
+"""Suppression fixture: file-wide disable of one code."""
+
+# reprolint: disable-file=RPL001
+
+import random  # silenced by the file-wide directive
+
+__all__ = ["random"]
+
+VALUE = 1.0 == 2.0  # RPL007 still fires: only RPL001 is disabled file-wide

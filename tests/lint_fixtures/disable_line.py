@@ -1,0 +1,9 @@
+"""Suppression fixture: per-line disables silence exactly the listed codes."""
+
+import math
+
+suppressed = 1.5 == math.inf  # reprolint: disable=RPL007  (justified: test)
+multi = 2.5 != math.nan  # reprolint: disable=RPL006,RPL007
+everything = 3.5 == math.inf  # reprolint: disable
+still_flagged = 4.5 == math.inf  # line 8: RPL007 must survive
+wrong_code = 5.5 == math.inf  # reprolint: disable=RPL001  (doesn't match)

@@ -1,0 +1,11 @@
+"""RPL001 violation fixture: stdlib random import and from-import."""
+
+import random  # line 3: flagged
+from random import shuffle  # line 4: flagged
+
+
+def draw() -> float:
+    rng = random.Random(7)
+    values = [1, 2, 3]
+    shuffle(values)
+    return rng.random()

@@ -1,0 +1,8 @@
+"""RPL001 clean fixture: seeded numpy Generator, no stdlib random."""
+
+import numpy as np
+
+
+def draw(seed: int) -> float:
+    rng = np.random.Generator(np.random.PCG64(seed))  # RPL003 territory, not 001
+    return float(rng.random())

@@ -1,0 +1,10 @@
+"""RPL002 violation fixture: legacy global numpy RNG calls."""
+
+import numpy as np
+from numpy.random import randint  # bound legacy name
+
+
+def draws() -> None:
+    np.random.seed(0)  # line 8: flagged (global reseed)
+    _ = np.random.rand(3)  # line 9: flagged
+    _ = randint(10)  # line 10: flagged (from-import reference)

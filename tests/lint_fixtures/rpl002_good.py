@@ -1,0 +1,7 @@
+"""RPL002 clean fixture: explicit Generator, no global numpy RNG state."""
+
+import numpy as np
+
+
+def draws(rng: np.random.Generator) -> np.ndarray:
+    return rng.integers(0, 10, size=3)

@@ -1,0 +1,8 @@
+"""RPL003 violation fixture: Generator construction outside the allowlist."""
+
+import numpy as np
+
+
+def fresh_entropy() -> float:
+    rng = np.random.default_rng()  # line 7: flagged (unseeded entropy source)
+    return float(rng.random())

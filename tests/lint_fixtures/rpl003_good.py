@@ -1,0 +1,7 @@
+"""RPL003 clean fixture: consume an injected Generator, construct nowhere."""
+
+import numpy as np
+
+
+def sample(rng: np.random.Generator, k: int) -> np.ndarray:
+    return rng.random(k)

@@ -1,0 +1,10 @@
+"""RPL004 violation fixture: wall-clock reads in result-determining code."""
+
+import time
+from datetime import datetime
+
+
+def stamp_result(record: dict) -> dict:
+    record["created_at"] = time.time()  # line 8: flagged
+    record["pretty"] = datetime.now().isoformat()  # line 9: flagged
+    return record

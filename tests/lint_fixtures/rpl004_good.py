@@ -1,0 +1,9 @@
+"""RPL004 clean fixture: only elapsed-time telemetry, no wall-clock reads."""
+
+import time
+
+
+def measure(work) -> float:
+    started = time.perf_counter()  # telemetry-only clocks are allowed
+    work()
+    return time.perf_counter() - started

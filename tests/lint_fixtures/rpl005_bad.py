@@ -1,0 +1,11 @@
+"""RPL005 violation fixture: re-defined determinism sentinels."""
+
+import math
+
+INFINITY = float("inf")  # line 5: flagged (drifts from the owner definition)
+RATIO_UNDEFINED = math.nan  # line 6: flagged
+
+
+def classify(value: float) -> bool:
+    UNREACHABLE = 1e308  # line 10: flagged (function-local redefinition)
+    return value >= UNREACHABLE

@@ -1,0 +1,6 @@
+"""RPL005 clean fixture: sentinels imported from their owner modules."""
+
+from repro.offline.convergecast import INFINITY
+from repro.ratio.semantics import RATIO_UNDEFINED, UNREACHABLE
+
+__all__ = ["INFINITY", "RATIO_UNDEFINED", "UNREACHABLE"]

@@ -1,0 +1,13 @@
+"""RPL006 violation fixture: unordered set iteration reaching results."""
+
+
+def missing_keys(data: dict, known: set) -> list:
+    return [key for key in set(data) - known]  # line 5: flagged (comprehension)
+
+
+def collect(nodes: list) -> list:
+    reached = {node for node in nodes if node > 0}
+    ordered = []
+    for node in reached:  # line 11: flagged (local set variable)
+        ordered.append(node)
+    return ordered

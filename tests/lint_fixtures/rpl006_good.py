@@ -1,0 +1,11 @@
+"""RPL006 clean fixture: set consumption is sorted or commutative."""
+
+
+def missing_keys(data: dict, known: set) -> list:
+    return sorted(set(data) - known)
+
+
+def collect(nodes: list) -> list:
+    reached = {node for node in nodes if node > 0}
+    total = sum(reached)  # commutative reduction: not iteration order
+    return sorted(reached) + [total]

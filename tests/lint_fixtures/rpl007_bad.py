@@ -1,0 +1,10 @@
+"""RPL007 violation fixture: exact float equality comparisons."""
+
+import math
+
+
+def checks(ratio: float, opt_cost: float) -> bool:
+    exact = ratio == 1.0  # line 7: flagged (float literal)
+    unreachable = opt_cost == math.inf  # line 8: flagged (inf comparison)
+    undefined = ratio != math.nan  # line 9: flagged (always True - NaN bug)
+    return exact or unreachable or undefined

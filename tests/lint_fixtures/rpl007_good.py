@@ -1,0 +1,10 @@
+"""RPL007 clean fixture: isinf/isnan/isclose instead of float equality."""
+
+import math
+
+
+def checks(ratio: float, opt_cost: float) -> bool:
+    exact = math.isclose(ratio, 1.0)
+    unreachable = math.isinf(opt_cost)
+    undefined = math.isnan(ratio)
+    return exact or unreachable or undefined

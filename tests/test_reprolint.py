@@ -1,0 +1,258 @@
+"""Tests for the reprolint static analyzer (``repro.lint``).
+
+Coverage contract (mirrors the acceptance criteria of the linter PR):
+
+* every shipped rule has a fixture pair under ``tests/lint_fixtures/`` —
+  the bad fixture is caught with the right code at the right line, the
+  good fixture is clean for that code;
+* ``# reprolint: disable=RPLxxx`` line and file scopes silence exactly
+  the listed codes;
+* ``[tool.reprolint]`` config handling: allowlists, excludes, rule
+  disabling, unknown-key rejection;
+* the CLI exits 0 on the repository's own ``src tools`` tree and
+  non-zero (with correct codes) on the bad fixtures.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.lint import (
+    DEFAULT_ALLOW,
+    Finding,
+    LintConfig,
+    LintConfigError,
+    PARSE_ERROR_CODE,
+    all_rules,
+    lint_file,
+    lint_paths,
+    lint_source,
+    load_config,
+    parse_suppressions,
+    rule_table,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+FIXTURES = Path(__file__).resolve().parent / "lint_fixtures"
+
+#: No allowlists, no excludes: fixtures must stand on their own.
+BARE = LintConfig(root=REPO_ROOT, allow={})
+
+#: rule code -> (bad fixture, expected finding lines in it)
+RULE_FIXTURES = {
+    "RPL001": ("rpl001", [3, 4]),
+    "RPL002": ("rpl002", [8, 9, 10]),
+    "RPL003": ("rpl003", [7]),
+    "RPL004": ("rpl004", [8, 9]),
+    "RPL005": ("rpl005", [5, 6, 10]),
+    "RPL006": ("rpl006", [5, 11]),
+    "RPL007": ("rpl007", [7, 8, 9]),
+}
+
+
+def codes_of(findings: list) -> set:
+    return {finding.code for finding in findings}
+
+
+class TestRegistry:
+    def test_all_issue_rules_are_registered(self):
+        codes = {rule.code for rule in all_rules()}
+        assert codes == set(RULE_FIXTURES)
+
+    def test_rule_table_is_sorted_and_described(self):
+        table = rule_table()
+        assert [row[0] for row in table] == sorted(row[0] for row in table)
+        for code, name, summary in table:
+            assert code.startswith("RPL")
+            assert name and summary
+
+    def test_every_rule_has_fixture_pair_on_disk(self):
+        for stem, _ in RULE_FIXTURES.values():
+            assert (FIXTURES / f"{stem}_bad.py").is_file()
+            assert (FIXTURES / f"{stem}_good.py").is_file()
+
+
+@pytest.mark.parametrize("code", sorted(RULE_FIXTURES))
+class TestFixturePairs:
+    def test_bad_fixture_caught_at_expected_lines(self, code):
+        stem, lines = RULE_FIXTURES[code]
+        findings = lint_file(FIXTURES / f"{stem}_bad.py", config=BARE)
+        matching = [f for f in findings if f.code == code]
+        assert [f.line for f in matching] == lines
+        for finding in matching:
+            assert finding.path.endswith(f"{stem}_bad.py")
+            assert finding.col >= 1
+
+    def test_good_fixture_clean_for_code(self, code):
+        stem, _ = RULE_FIXTURES[code]
+        findings = lint_file(FIXTURES / f"{stem}_good.py", config=BARE)
+        assert code not in codes_of(findings)
+
+
+class TestSuppression:
+    def test_line_disable_silences_only_listed_codes(self):
+        findings = lint_file(FIXTURES / "disable_line.py", config=BARE)
+        assert [f.line for f in findings if f.code == "RPL007"] == [8, 9]
+
+    def test_file_disable_is_code_scoped(self):
+        findings = lint_file(FIXTURES / "disable_file.py", config=BARE)
+        assert "RPL001" not in codes_of(findings)
+        assert "RPL007" in codes_of(findings)
+
+    def test_bare_disable_silences_everything_on_the_line(self):
+        findings = lint_source(
+            "import random  # reprolint: disable\n", config=BARE
+        )
+        assert findings == []
+
+    def test_parser_scopes(self):
+        suppressions = parse_suppressions(
+            "x = 1  # reprolint: disable=RPL001, RPL007\n"
+            "# reprolint: disable-file=RPL004\n"
+        )
+        assert suppressions.by_line[1] == frozenset({"RPL001", "RPL007"})
+        assert suppressions.file_wide == frozenset({"RPL004"})
+        suppressed = Finding("m.py", 1, 1, "RPL007", "msg")
+        not_suppressed = Finding("m.py", 2, 1, "RPL007", "msg")
+        assert suppressions.is_suppressed(suppressed)
+        assert not suppressions.is_suppressed(not_suppressed)
+        assert suppressions.is_suppressed(Finding("m.py", 9, 1, "RPL004", "m"))
+
+
+class TestConfig:
+    def test_allowlist_silences_rule_for_matching_path(self, tmp_path):
+        module = tmp_path / "frozen_stream.py"
+        module.write_text("import random\n", encoding="utf-8")
+        allowing = LintConfig(root=tmp_path, allow={"RPL001": ("frozen_*.py",)})
+        assert lint_file(module, config=allowing) == []
+        bare = LintConfig(root=tmp_path, allow={})
+        assert codes_of(lint_file(module, config=bare)) == {"RPL001"}
+
+    def test_exclude_skips_file_entirely(self, tmp_path):
+        module = tmp_path / "generated.py"
+        module.write_text("import random\nx = 1.0 == 2.0\n", encoding="utf-8")
+        config = LintConfig(root=tmp_path, exclude=("generated.py",), allow={})
+        assert lint_file(module, config=config) == []
+
+    def test_disable_turns_rule_off_globally(self):
+        config = LintConfig(root=REPO_ROOT, disable=("RPL001",), allow={})
+        assert lint_source("import random\n", config=config) == []
+
+    def test_load_repo_pyproject(self):
+        config = load_config(REPO_ROOT / "pyproject.toml")
+        assert config.root == REPO_ROOT
+        assert "tests/lint_fixtures/*" in config.exclude
+        assert config.is_allowed("RPL004", REPO_ROOT / "src/repro/campaign/store.py")
+        assert not config.is_allowed(
+            "RPL001", REPO_ROOT / "src/repro/adversaries/nonuniform.py"
+        )
+
+    def test_default_allow_matches_repo_pyproject(self):
+        # The built-in defaults exist for configless checkouts; they must
+        # not drift from the audited pyproject allowlists.
+        config = load_config(REPO_ROOT / "pyproject.toml")
+        assert {code: tuple(paths) for code, paths in config.allow.items()} == {
+            code: tuple(paths) for code, paths in DEFAULT_ALLOW.items()
+        }
+
+    def test_unknown_config_key_rejected(self, tmp_path):
+        pyproject = tmp_path / "pyproject.toml"
+        pyproject.write_text(
+            "[tool.reprolint]\nallowlist = []\n", encoding="utf-8"
+        )
+        with pytest.raises(LintConfigError, match="unknown"):
+            load_config(pyproject)
+
+    def test_malformed_allow_rejected(self, tmp_path):
+        pyproject = tmp_path / "pyproject.toml"
+        pyproject.write_text(
+            "[tool.reprolint.allow]\nRPL001 = 'not-a-list'\n", encoding="utf-8"
+        )
+        with pytest.raises(LintConfigError, match="list of strings"):
+            load_config(pyproject)
+
+
+class TestApi:
+    def test_parse_error_is_a_finding_not_an_exception(self):
+        findings = lint_source("def broken(:\n", config=BARE)
+        assert [f.code for f in findings] == [PARSE_ERROR_CODE]
+
+    def test_findings_are_sorted_and_deterministic(self, tmp_path):
+        module_b = tmp_path / "b.py"
+        module_a = tmp_path / "a.py"
+        module_b.write_text("import random\n", encoding="utf-8")
+        module_a.write_text("x = 1.0 == 2.0\nimport random\n", encoding="utf-8")
+        config = LintConfig(root=tmp_path, allow={})
+        first = lint_paths([tmp_path], config=config)
+        second = lint_paths([module_b, module_a, tmp_path], config=config)
+        assert first == second  # dedup + canonical sort
+        assert [ (f.path, f.line) for f in first ] == [
+            ("a.py", 1), ("a.py", 2), ("b.py", 1),
+        ]
+
+    def test_repo_tree_is_lint_clean(self):
+        config = load_config(REPO_ROOT / "pyproject.toml")
+        findings = lint_paths(
+            [REPO_ROOT / "src", REPO_ROOT / "tools"], config=config
+        )
+        assert findings == [], "\n".join(f.format() for f in findings)
+
+
+class TestCli:
+    def _run(self, *args, cwd=REPO_ROOT):
+        return subprocess.run(
+            [sys.executable, "-m", "repro.lint", *args],
+            capture_output=True,
+            text=True,
+            cwd=cwd,
+            env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"},
+        )
+
+    def test_cli_clean_on_repo_src_tools(self):
+        result = self._run("src", "tools")
+        assert result.returncode == 0, result.stdout + result.stderr
+
+    def test_cli_flags_bad_fixture_with_code_and_location(self):
+        result = self._run("--no-config", "tests/lint_fixtures/rpl001_bad.py")
+        assert result.returncode == 1
+        assert "tests/lint_fixtures/rpl001_bad.py:3:1: RPL001" in result.stdout
+
+    def test_cli_json_format(self):
+        import json
+
+        result = self._run(
+            "--no-config", "--format", "json", "tests/lint_fixtures/rpl003_bad.py"
+        )
+        assert result.returncode == 1
+        payload = json.loads(result.stdout)
+        assert payload[0]["code"] == "RPL003"
+        assert payload[0]["line"] == 7
+
+    def test_cli_list_rules(self):
+        result = self._run("--list-rules")
+        assert result.returncode == 0
+        for code in RULE_FIXTURES:
+            assert code in result.stdout
+
+    def test_cli_missing_path_is_usage_error(self):
+        result = self._run("no/such/dir")
+        assert result.returncode == 2
+        assert "error" in result.stderr
+
+    def test_tools_wrapper_equivalent(self):
+        result = subprocess.run(
+            [
+                sys.executable,
+                str(REPO_ROOT / "tools" / "reprolint.py"),
+                "src",
+                "tools",
+            ],
+            capture_output=True,
+            text=True,
+            cwd=REPO_ROOT,
+        )
+        assert result.returncode == 0, result.stdout + result.stderr

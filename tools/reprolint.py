@@ -1,0 +1,27 @@
+#!/usr/bin/env python
+"""Standalone launcher for the reprolint static analyzer.
+
+Equivalent to ``PYTHONPATH=src python -m repro.lint`` but runnable from a
+bare checkout without environment setup::
+
+    python tools/reprolint.py [PATHS ...]
+
+See ``python tools/reprolint.py --help`` and ``docs/determinism.md`` for
+the rule set, configuration (``[tool.reprolint]`` in ``pyproject.toml``)
+and the ``# reprolint: disable=RPLxxx`` escape syntax.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+_SRC = str(REPO_ROOT / "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.lint.cli import main  # noqa: E402  (needs the src path above)
+
+if __name__ == "__main__":
+    sys.exit(main())
