@@ -44,6 +44,16 @@ kernel (:func:`opt_kernel_records`, appended by
 ``ratio_kernel`` record exists and its recorded speedup stays above the
 subsystem's acceptance floor (>= 10x vs per-sequence Python).
 
+A third record family covers the **knowledge-kernel** workload — the
+three knowledge-heavy algorithms (spanning tree / full knowledge / future
+broadcast) that run trial-vectorized through their own decision kernels
+(:func:`knowledge_kernel_records`, appended by
+``test_bench_engine.test_knowledge_kernel_speedup_and_equality`` under
+the distinct engine tag ``vectorized_knowledge`` so the main vectorized
+ratchet keeps its single-workload meaning).  ``--require-record`` demands
+that a vectorized_knowledge-vs-fast record exists and its recorded
+speedup stays above ``MIN_KNOWLEDGE_VS_FAST``.
+
 Run from the repository root::
 
     PYTHONPATH=src:benchmarks python benchmarks/perf_gate.py
@@ -132,6 +142,64 @@ def opt_kernel_records() -> list:
         if record.get("engine") == "ratio_kernel"
         and record.get("baseline") == "offline_python"
     ]
+
+
+def knowledge_kernel_records() -> list:
+    """All vectorized_knowledge-vs-fast records, in trajectory order.
+
+    These are appended by ``test_bench_engine.
+    test_knowledge_kernel_speedup_and_equality`` (the decision kernels of
+    the knowledge-heavy algorithms: spanning tree, full knowledge, future
+    broadcast).
+
+    Raises:
+        TrajectoryError: if the trajectory file exists but is unreadable.
+    """
+    return [
+        record
+        for record in load_trajectory()
+        if record.get("engine") == "vectorized_knowledge"
+        and record.get("baseline") == "fast"
+    ]
+
+
+def check_knowledge_kernel(records: list, require_record: bool) -> int:
+    """Gate the knowledge-kernel record: presence (CI mode) and hard floor.
+
+    Like the opt kernel, this workload gets a single acceptance floor
+    (the same ``MIN_KNOWLEDGE_VS_FAST`` the benchmark asserts) rather
+    than a ratchet: the margin over the fast engine is structurally
+    modest (both engines share the per-trial plan/oracle construction
+    cost), so a host-relative ratchet would mostly track noise.  Returns
+    the exit-code contribution (0 ok, 1 regression, 2 missing required
+    record).
+    """
+    if not records:
+        if require_record:
+            print(
+                "perf gate error: BENCH_engine.json holds no "
+                "vectorized_knowledge-vs-fast record; the benchmark step "
+                "that precedes the gate should have appended one (run "
+                "PYTHONPATH=src python -m pytest "
+                "benchmarks/test_bench_engine.py -x -q -s)"
+            )
+            return 2
+        print("no knowledge-kernel record yet; knowledge gate passes (bootstrap)")
+        return 0
+    from test_bench_engine import MIN_KNOWLEDGE_VS_FAST
+
+    latest = records[-1]["speedup"]
+    print(
+        f"latest recorded knowledge-kernel speedup: {latest:.1f}x vs the "
+        f"fast engine (floor {MIN_KNOWLEDGE_VS_FAST:.1f}x)"
+    )
+    if latest < MIN_KNOWLEDGE_VS_FAST:
+        print(
+            f"FAIL: knowledge-kernel speedup {latest:.1f}x below the "
+            f"{MIN_KNOWLEDGE_VS_FAST:.1f}x floor"
+        )
+        return 1
+    return 0
 
 
 def check_opt_kernel(records: list, require_record: bool) -> int:
@@ -256,6 +324,7 @@ def main(argv=None) -> int:
     try:
         records = vectorized_records()
         opt_records = opt_kernel_records()
+        knowledge_records = knowledge_kernel_records()
     except TrajectoryError as error:
         print(f"perf gate error: {error}")
         return 2
@@ -274,6 +343,11 @@ def main(argv=None) -> int:
     opt_exit = check_opt_kernel(opt_records, "--require-record" in argv)
     if opt_exit:
         return opt_exit
+    knowledge_exit = check_knowledge_kernel(
+        knowledge_records, "--require-record" in argv
+    )
+    if knowledge_exit:
+        return knowledge_exit
     if "--measure" in argv or not records:
         measured = measure_and_record()
         prior = records

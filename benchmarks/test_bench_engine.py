@@ -1,6 +1,6 @@
 """Differential benchmarks: fast and vectorized engines vs. reference.
 
-Two engine benchmarks share this file:
+Three engine benchmarks share this file:
 
 * the legacy **fast-engine gate** — the ``gathering`` / ``waiting_greedy``
   randomized-adversary sweep at n >= 100 through the reference and fast
@@ -12,7 +12,15 @@ Two engine benchmarks share this file:
   Results must be identical trial for trial to the per-trial reference
   sweep; the measured speedups vs. the reference *and* vs. the fast engine
   are appended to the ``BENCH_engine.json`` trajectory (canonical schema,
-  see :func:`bench_utils.normalize_engine_record`).
+  see :func:`bench_utils.normalize_engine_record`);
+* the **knowledge-kernel gate** — the three knowledge-heavy algorithms
+  (spanning tree / full knowledge / future broadcast) that gained decision
+  kernels, at the same n.  Their vectorized cells must run with **zero
+  engine fallbacks** (``EngineFallbackWarning`` is an error here), be
+  identical trial for trial to the reference sweep, and beat the fast
+  engine; the record is appended under the distinct engine tag
+  ``vectorized_knowledge`` so the long-standing vectorized-vs-reference
+  ratchet in ``perf_gate.py`` keeps its single-workload meaning.
 
 The hard speedup floors asserted here are deliberately below the locally
 measured figures (recorded in the trajectory) so that a loaded CI machine
@@ -21,10 +29,15 @@ value is enforced separately by ``benchmarks/perf_gate.py``.
 """
 
 import time
+import warnings
 
+from repro.algorithms.full_knowledge import FullKnowledge
+from repro.algorithms.future_broadcast import FutureBroadcast
 from repro.algorithms.gathering import Gathering
+from repro.algorithms.spanning_tree import SpanningTreeAggregation
 from repro.algorithms.waiting import Waiting
 from repro.algorithms.waiting_greedy import WaitingGreedy, optimal_tau
+from repro.core.vector_execution import EngineFallbackWarning
 from repro.sim.batch import sweep_adversary_batched
 from repro.sim.parallel import sweep_random_adversary as parallel_sweep
 from repro.sim.runner import sweep_random_adversary
@@ -39,6 +52,9 @@ MIN_SPEEDUP = 3.0
 #: are ~3x higher and live in the trajectory; perf_gate.py guards those).
 MIN_VECTORIZED_VS_REFERENCE = 10.0
 MIN_VECTORIZED_VS_FAST = 1.2
+#: CI-safe hard floor for the knowledge-kernel gate (locally measured
+#: ~2.1x vs fast; perf_gate.py requires and floors the recorded value).
+MIN_KNOWLEDGE_VS_FAST = 1.2
 #: Each engine is timed this many times and the best run is kept, so a
 #: single noisy measurement on a loaded machine cannot fail the gate.
 TIMING_ROUNDS = 3
@@ -53,6 +69,13 @@ VECTOR_FACTORIES = {
     "waiting": lambda n: Waiting(),
     "gathering": lambda n: Gathering(),
     "waiting_greedy": lambda n: WaitingGreedy(tau=optimal_tau(n)),
+}
+
+#: The knowledge-heavy algorithms, newly covered by decision kernels.
+KNOWLEDGE_FACTORIES = {
+    "spanning_tree": lambda n: SpanningTreeAggregation(),
+    "full_knowledge": lambda n: FullKnowledge(),
+    "future_broadcast": lambda n: FutureBroadcast(),
 }
 
 
@@ -213,6 +236,76 @@ def test_vectorized_engine_speedup_and_equality(benchmark):
     assert vs_fast >= MIN_VECTORIZED_VS_FAST, (
         f"vectorized speedup {vs_fast:.2f}x vs fast below the CI floor "
         f"{MIN_VECTORIZED_VS_FAST:.1f}x"
+    )
+
+
+def measure_knowledge_engines():
+    """One full knowledge-kernel-gate measurement (shared with perf_gate.py).
+
+    Returns ``(reference_seconds, fast_seconds, vectorized_seconds)`` for
+    the three knowledge-heavy algorithms on the n=120 sweep.  The
+    vectorized leg runs with ``EngineFallbackWarning`` promoted to an
+    error — the gate's premise is that these algorithms now run through
+    their own decision kernels, so a single fallback trial fails the
+    measurement — and both optimised legs are asserted trial-identical to
+    the reference sweep.
+    """
+    reference, reference_seconds = _timed_sweep(
+        "reference", factories=KNOWLEDGE_FACTORIES
+    )
+    fast, fast_seconds = _timed_sweep("fast", factories=KNOWLEDGE_FACTORIES)
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", EngineFallbackWarning)
+        vectorized, vectorized_seconds = _timed_vectorized_sweep(
+            factories=KNOWLEDGE_FACTORIES
+        )
+    _assert_sweeps_identical(vectorized, reference, KNOWLEDGE_FACTORIES)
+    _assert_sweeps_identical(fast, reference, KNOWLEDGE_FACTORIES)
+    return reference_seconds, fast_seconds, vectorized_seconds
+
+
+def test_knowledge_kernel_speedup_and_equality(benchmark):
+    """The newly kernelized algorithms beat the fast engine, zero fallbacks."""
+    (reference_seconds, fast_seconds, vectorized_seconds) = benchmark.pedantic(
+        measure_knowledge_engines, rounds=1, iterations=1, warmup_rounds=0
+    )
+    vs_reference = reference_seconds / vectorized_seconds
+    vs_fast = fast_seconds / vectorized_seconds
+    benchmark.extra_info["n"] = BENCH_N
+    benchmark.extra_info["trials"] = BENCH_TRIALS
+    benchmark.extra_info["reference_seconds"] = reference_seconds
+    benchmark.extra_info["fast_seconds"] = fast_seconds
+    benchmark.extra_info["vectorized_seconds"] = vectorized_seconds
+    benchmark.extra_info["speedup_vs_reference"] = vs_reference
+    benchmark.extra_info["speedup_vs_fast"] = vs_fast
+    for baseline, baseline_seconds, speedup in (
+        ("reference", reference_seconds, vs_reference),
+        ("fast", fast_seconds, vs_fast),
+    ):
+        record_bench_trajectory(
+            "engine",
+            {
+                "engine": "vectorized_knowledge",
+                "baseline": baseline,
+                "adversary": "uniform",
+                "algorithms": sorted(KNOWLEDGE_FACTORIES),
+                "n": BENCH_N,
+                "trials": BENCH_TRIALS,
+                "seconds": round(vectorized_seconds, 6),
+                "baseline_seconds": round(baseline_seconds, 6),
+                "speedup": round(speedup, 3),
+            },
+        )
+    print(
+        f"\nknowledge-kernel benchmark (n={BENCH_N}, trials={BENCH_TRIALS}, "
+        f"algorithms={sorted(KNOWLEDGE_FACTORIES)}): reference "
+        f"{reference_seconds:.3f}s, fast {fast_seconds:.3f}s, vectorized "
+        f"{vectorized_seconds:.3f}s -> {vs_reference:.1f}x vs reference, "
+        f"{vs_fast:.1f}x vs fast"
+    )
+    assert vs_fast >= MIN_KNOWLEDGE_VS_FAST, (
+        f"knowledge-kernel speedup {vs_fast:.2f}x vs fast below the CI "
+        f"floor {MIN_KNOWLEDGE_VS_FAST:.1f}x"
     )
 
 

@@ -41,6 +41,15 @@ def opt_record(speedup, host="ci"):
     }
 
 
+def knowledge_record(speedup, host="ci"):
+    return {
+        "engine": "vectorized_knowledge",
+        "baseline": "fast",
+        "speedup": speedup,
+        "host": host,
+    }
+
+
 class TestTrajectoryLoading:
     def test_missing_file_is_bootstrap_not_error(self, gate_dir):
         assert perf_gate.vectorized_records() == []
@@ -95,14 +104,17 @@ class TestMainExitCodes:
         assert "no vectorized-vs-reference record" in capsys.readouterr().out
 
     def test_single_record_bootstrap_passes(self, gate_dir, capsys):
-        write_trajectory(gate_dir, [vectorized_record(32.0), opt_record(20.0)])
+        write_trajectory(gate_dir, [
+            vectorized_record(32.0), opt_record(20.0),
+            knowledge_record(2.1),
+        ])
         assert perf_gate.main(["--require-record"]) == 0
         assert "bootstrap" in capsys.readouterr().out
 
     def test_healthy_latest_record_passes(self, gate_dir, capsys):
         write_trajectory(gate_dir, [
             vectorized_record(32.0), vectorized_record(31.0),
-            opt_record(20.0),
+            opt_record(20.0), knowledge_record(2.1),
         ])
         assert perf_gate.main(["--require-record"]) == 0
         assert "PASS" in capsys.readouterr().out
@@ -151,8 +163,60 @@ class TestOptKernelGate:
     def test_healthy_opt_record_reported(self, gate_dir, capsys):
         write_trajectory(gate_dir, [
             vectorized_record(32.0), vectorized_record(31.0),
-            opt_record(20.3),
+            opt_record(20.3), knowledge_record(2.1),
         ])
         assert perf_gate.main(["--require-record"]) == 0
         out = capsys.readouterr().out
         assert "opt-kernel speedup: 20.3x" in out
+
+
+class TestKnowledgeKernelGate:
+    """The knowledge-kernel record is covered by --require-record and a floor."""
+
+    def test_records_filter(self, gate_dir):
+        write_trajectory(gate_dir, [
+            vectorized_record(32.0), opt_record(20.0),
+            knowledge_record(2.1), knowledge_record(2.3),
+            {"engine": "vectorized_knowledge", "baseline": "reference",
+             "speedup": 3.7},
+        ])
+        records = perf_gate.knowledge_kernel_records()
+        assert [r["speedup"] for r in records] == [2.1, 2.3]
+
+    def test_require_record_fails_without_knowledge_record(
+        self, gate_dir, capsys
+    ):
+        write_trajectory(gate_dir, [
+            vectorized_record(32.0), vectorized_record(31.0),
+            opt_record(20.0),
+        ])
+        assert perf_gate.main(["--require-record"]) == 2
+        out = capsys.readouterr().out
+        assert "vectorized_knowledge" in out and "test_bench_engine" in out
+
+    def test_missing_knowledge_record_is_bootstrap_without_require(
+        self, gate_dir, capsys
+    ):
+        write_trajectory(gate_dir, [
+            vectorized_record(32.0), vectorized_record(31.0),
+            opt_record(20.0),
+        ])
+        assert perf_gate.main([]) == 0
+        assert "knowledge-kernel record yet" in capsys.readouterr().out
+
+    def test_knowledge_record_below_floor_fails(self, gate_dir, capsys):
+        write_trajectory(gate_dir, [
+            vectorized_record(32.0), vectorized_record(31.0),
+            opt_record(20.0), knowledge_record(0.8),
+        ])
+        assert perf_gate.main(["--require-record"]) == 1
+        assert "knowledge-kernel speedup" in capsys.readouterr().out
+
+    def test_healthy_knowledge_record_reported(self, gate_dir, capsys):
+        write_trajectory(gate_dir, [
+            vectorized_record(32.0), vectorized_record(31.0),
+            opt_record(20.0), knowledge_record(2.1),
+        ])
+        assert perf_gate.main(["--require-record"]) == 0
+        out = capsys.readouterr().out
+        assert "knowledge-kernel speedup: 2.1x" in out

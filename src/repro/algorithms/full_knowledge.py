@@ -9,14 +9,45 @@ the baseline every other bound in Section 4 is converted against.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional, Tuple
+from typing import Dict, Iterable, Optional, Sequence, Tuple
 
 from ..core.algorithm import DODAAlgorithm, KNOWLEDGE_FULL, registry
 from ..core.data import NodeId
 from ..core.exceptions import InvalidScheduleError
+from ..core.interaction import InteractionSequence
 from ..core.node import NodeView
 from ..offline.convergecast import build_convergecast_schedule
 from ..offline.schedule import AggregationSchedule
+
+#: ``time -> (sender, receiver)``: the materialised convergecast plan both
+#: the object algorithm and its decision kernel follow.
+ConvergecastPlan = Dict[int, Tuple[NodeId, NodeId]]
+
+
+def convergecast_plan(
+    sequence: InteractionSequence,
+    nodes: Sequence[NodeId],
+    sink: NodeId,
+    start: int = 0,
+) -> Optional[ConvergecastPlan]:
+    """The optimal offline convergecast as a ``time -> (sender, receiver)`` map.
+
+    Returns None when no convergecast starting at ``start`` completes within
+    the sequence (the algorithm then never transmits).  This is the single
+    plan builder shared by :class:`FullKnowledge`, the future-broadcast
+    convergecast phase, and their vectorized decision kernels — sharing it
+    makes kernel-vs-object plan equality true by construction.
+    """
+    try:
+        schedule: AggregationSchedule = build_convergecast_schedule(
+            sequence, nodes, sink, start=start
+        )
+    except InvalidScheduleError:
+        return None
+    return {
+        transmission.time: (transmission.sender, transmission.receiver)
+        for transmission in schedule.transmissions
+    }
 
 
 @registry.register
@@ -45,18 +76,12 @@ class FullKnowledge(DODAAlgorithm):
         if self._plan is not None or self._plan_impossible:
             return
         sequence = view.knowledge.full_sequence()
-        try:
-            schedule: AggregationSchedule = build_convergecast_schedule(
-                sequence, self._nodes, self._sink, start=0
-            )
-        except InvalidScheduleError:
+        plan = convergecast_plan(sequence, self._nodes, self._sink, start=0)
+        if plan is None:
             # No convergecast fits in the committed sequence; never transmit.
             self._plan_impossible = True
             return
-        self._plan = {
-            transmission.time: (transmission.sender, transmission.receiver)
-            for transmission in schedule.transmissions
-        }
+        self._plan = plan
 
     def decide(
         self, first: NodeView, second: NodeView, time: int

@@ -29,12 +29,33 @@ from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from ..core.algorithm import DODAAlgorithm, KNOWLEDGE_FUTURE, registry
 from ..core.data import NodeId
-from ..core.exceptions import InvalidScheduleError
 from ..core.interaction import InteractionSequence
 from ..core.node import NodeView
-from ..offline.convergecast import build_convergecast_schedule
+from .full_knowledge import ConvergecastPlan, convergecast_plan
 
 _TABLE_KEY = "future_broadcast/known_futures"
+
+
+def broadcast_then_convergecast_plan(
+    sequence: InteractionSequence, nodes: List[NodeId], sink: NodeId
+) -> Tuple[Optional[int], Optional[ConvergecastPlan]]:
+    """``(T_bcast, plan)`` for the canonical future-broadcast strategy.
+
+    ``T_bcast`` is the time at which the deterministic gossip makes the last
+    node fully informed; the plan is the optimal convergecast over the
+    suffix starting at ``T_bcast + 1``.  Returns ``(None, None)`` when the
+    gossip never completes within the sequence or no convergecast fits in
+    the remaining suffix — the algorithm then never transmits.  Shared by
+    :class:`FutureBroadcast` and its decision kernel so both follow the
+    same plan by construction.
+    """
+    complete_time = gossip_completion_time(sequence, nodes)
+    if complete_time is None:
+        return None, None
+    plan = convergecast_plan(sequence, nodes, sink, start=complete_time + 1)
+    if plan is None:
+        return None, None
+    return complete_time, plan
 
 
 @registry.register
@@ -103,22 +124,14 @@ class FutureBroadcast(DODAAlgorithm):
         if self._plan is not None or self._plan_impossible:
             return
         sequence = reconstruct_sequence(futures)
-        complete_time = gossip_completion_time(sequence, list(self._nodes))
-        if complete_time is None:
-            self._plan_impossible = True
-            return
-        try:
-            schedule = build_convergecast_schedule(
-                sequence, self._nodes, self._sink, start=complete_time + 1
-            )
-        except InvalidScheduleError:
+        complete_time, plan = broadcast_then_convergecast_plan(
+            sequence, list(self._nodes), self._sink
+        )
+        if plan is None:
             self._plan_impossible = True
             return
         self._broadcast_complete_time = complete_time
-        self._plan = {
-            transmission.time: (transmission.sender, transmission.receiver)
-            for transmission in schedule.transmissions
-        }
+        self._plan = plan
 
 
 def reconstruct_sequence(

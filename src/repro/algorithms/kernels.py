@@ -27,7 +27,10 @@ Two kernel flavours exist:
 A kernel validates its preconditions in :meth:`DecisionKernel.prepare` and
 raises :class:`KernelUnsupported` when the trial's source or knowledge shape
 is not one it can reproduce **exactly**; the engine then falls back to
-:class:`~repro.core.fast_execution.FastExecutor` for that trial.  Equality
+:class:`~repro.core.fast_execution.FastExecutor` for that trial and reports
+the reason (see ``VectorizedExecutor.last_fallbacks``).  **Every registered
+algorithm has a kernel** — :func:`get_kernel` raises on a miss — so a
+fallback is an observable exception, never a routine code path.  Equality
 with the object form is enforced by the differential tests in
 ``tests/test_vector_execution.py`` across every committed adversary family.
 """
@@ -104,8 +107,13 @@ class DecisionKernel:
         sink_index: int,
         translate: Optional[np.ndarray] = None,
         sink_node: Any = None,
+        index_of: Optional[Dict[Any, int]] = None,
     ) -> Any:
         """Build the per-trial kernel state (tables, parameters, RNG refs).
+
+        ``index_of`` is the executor's node -> dense-index map (insertion
+        order is the dense order); plan-building kernels need it to express
+        node identifiers in array form.
 
         Raises:
             KernelUnsupported: when the trial cannot be reproduced exactly.
@@ -149,9 +157,24 @@ def register_kernel(kernel_cls: type) -> type:
     return kernel_cls
 
 
-def get_kernel(algorithm_name: str) -> Optional[DecisionKernel]:
-    """The decision kernel mirroring ``algorithm_name``, or None."""
-    return KERNELS.get(algorithm_name)
+def get_kernel(algorithm_name: str) -> DecisionKernel:
+    """The decision kernel mirroring ``algorithm_name``.
+
+    Every registered algorithm ships a kernel, so a miss here is a
+    programming error (an algorithm registered without its kernel, or a
+    typo), not a routing signal.
+
+    Raises:
+        KeyError: naming the algorithm and listing the registered kernels.
+    """
+    try:
+        return KERNELS[algorithm_name]
+    except KeyError:
+        registered = ", ".join(sorted(KERNELS))
+        raise KeyError(
+            f"no decision kernel is registered for algorithm "
+            f"{algorithm_name!r}; registered kernels: {registered}"
+        ) from None
 
 
 # --------------------------------------------------------------------- #
@@ -174,7 +197,7 @@ class GatheringKernel(DecisionKernel):
     vectorized = True
 
     def prepare(self, algorithm, source, knowledge, horizon, n, sink_index,
-                translate=None, sink_node=None):
+                translate=None, sink_node=None, index_of=None):
         return _SinkState(sink_index)
 
     def decide_block(self, state, iu, iv, t):
@@ -200,7 +223,7 @@ class WaitingKernel(DecisionKernel):
     sparse = True
 
     def prepare(self, algorithm, source, knowledge, horizon, n, sink_index,
-                translate=None, sink_node=None):
+                translate=None, sink_node=None, index_of=None):
         return _SinkState(sink_index)
 
     def decide_block(self, state, iu, iv, t):
@@ -385,7 +408,7 @@ class WaitingGreedyKernel(DecisionKernel):
     vectorized = True
 
     def prepare(self, algorithm, source, knowledge, horizon, n, sink_index,
-                translate=None, sink_node=None):
+                translate=None, sink_node=None, index_of=None):
         from ..knowledge.meet_time import MeetTimeKnowledge
 
         oracle = None
@@ -489,7 +512,7 @@ class CoinFlipGatheringKernel(DecisionKernel):
     vectorized = False
 
     def prepare(self, algorithm, source, knowledge, horizon, n, sink_index,
-                translate=None, sink_node=None):
+                translate=None, sink_node=None, index_of=None):
         return _RngState(sink_index, algorithm._rng.random, p=algorithm.p)
 
     def decide_one(self, state, iu, iv, t):
@@ -510,7 +533,7 @@ class RandomReceiverKernel(DecisionKernel):
     vectorized = False
 
     def prepare(self, algorithm, source, knowledge, horizon, n, sink_index,
-                translate=None, sink_node=None):
+                translate=None, sink_node=None, index_of=None):
         return _RngState(sink_index, algorithm._rng.random)
 
     def decide_one(self, state, iu, iv, t):
@@ -518,3 +541,252 @@ class RandomReceiverKernel(DecisionKernel):
             # First receives, second sends — unless the sender is the sink.
             return NO_TRANSMISSION if iv == state.sink_index else FIRST_RECEIVES
         return NO_TRANSMISSION if iu == state.sink_index else SECOND_RECEIVES
+
+
+# --------------------------------------------------------------------- #
+# Plan-lookup kernels: the knowledge-heavy algorithms
+# --------------------------------------------------------------------- #
+class _PlanState:
+    """A materialised ``time -> (sender, receiver)`` plan in array form.
+
+    ``times`` is sorted and unique (a plan is a dict keyed by time);
+    ``senders``/``receivers`` hold executor-dense indices aligned with it.
+    Plan nodes outside the executor's node set are encoded as ``-2``, which
+    never equals a dense index — such entries simply never fire, exactly
+    like the object form's pair-match test failing for every view pair.
+    """
+
+    __slots__ = ("times", "senders", "receivers")
+
+    def __init__(
+        self, times: np.ndarray, senders: np.ndarray, receivers: np.ndarray
+    ) -> None:
+        self.times = times
+        self.senders = senders
+        self.receivers = receivers
+
+
+def _empty_plan_state() -> _PlanState:
+    """A plan with no entries: the kernel never transmits."""
+    empty = np.empty(0, dtype=np.int64)
+    return _PlanState(empty, empty.copy(), empty.copy())
+
+
+def _plan_state(plan: Dict[int, Tuple[Any, Any]], index_of: Dict[Any, int]) -> _PlanState:
+    """Densify a ``time -> (sender, receiver)`` plan into a :class:`_PlanState`."""
+    count = len(plan)
+    times = np.fromiter(sorted(plan), dtype=np.int64, count=count)
+    senders = np.fromiter(
+        (index_of.get(plan[int(t)][0], -2) for t in times), dtype=np.int64, count=count
+    )
+    receivers = np.fromiter(
+        (index_of.get(plan[int(t)][1], -2) for t in times), dtype=np.int64, count=count
+    )
+    return _PlanState(times, senders, receivers)
+
+
+def _plan_decide_block(
+    state: _PlanState, iu: np.ndarray, iv: np.ndarray, t: np.ndarray
+) -> np.ndarray:
+    """Directions for a raw-order block against a materialised plan.
+
+    Pure and order-insensitive: an interaction transmits iff the plan names
+    exactly its pair at exactly its time, with the direction given by the
+    plan's receiver — the array form of the object algorithms'
+    ``plan.get(time)`` + pair-match test.  Ownership is left to the walk's
+    scalar re-check (the kernels are ``sparse``), mirroring the reference
+    engine's guard that never calls ``decide`` unless both endpoints own
+    data.
+    """
+    dirs = np.full(iu.shape[0], NO_TRANSMISSION, dtype=np.int8)
+    if not state.times.shape[0]:
+        return dirs
+    idx = np.searchsorted(state.times, t)
+    found = idx < state.times.shape[0]
+    safe = np.where(found, idx, 0)
+    found &= state.times[safe] == t
+    senders = state.senders[safe]
+    receivers = state.receivers[safe]
+    dirs[found & (senders == iv) & (receivers == iu)] = FIRST_RECEIVES
+    dirs[found & (senders == iu) & (receivers == iv)] = SECOND_RECEIVES
+    return dirs
+
+
+def _bundle_oracle(knowledge: Any, name: str) -> Any:
+    """The raw oracle registered under ``name``, however ``knowledge`` is shaped.
+
+    Accepts a knowledge bundle (the sim-layer shape) or a raw oracle object
+    passed directly (the unit-test shape); returns None when neither yields
+    an oracle.
+    """
+    if knowledge is None:
+        return None
+    if hasattr(knowledge, "oracle"):
+        try:
+            return knowledge.oracle(name)
+        except Exception:
+            return None
+    return knowledge
+
+
+@register_kernel
+class FullKnowledgeKernel(DecisionKernel):
+    """Array form of :class:`~repro.algorithms.full_knowledge.FullKnowledge`.
+
+    The object algorithm's decisions are a pure function of the optimal
+    convergecast plan computed from its oracle's committed sequence plus a
+    pair-match against the realized interaction, so the kernel needs no
+    source-identity precondition: it materialises the same plan (via the
+    shared :func:`~repro.algorithms.full_knowledge.convergecast_plan`
+    builder) and decides by array lookup.  ``sparse`` because at most
+    ``n - 1`` plan entries exist over the whole horizon.
+    """
+
+    algorithm_name = "full_knowledge"
+    vectorized = True
+    sparse = True
+
+    def prepare(self, algorithm, source, knowledge, horizon, n, sink_index,
+                translate=None, sink_node=None, index_of=None):
+        from .full_knowledge import convergecast_plan
+
+        oracle = _bundle_oracle(knowledge, "full_knowledge")
+        if oracle is None or not hasattr(oracle, "full_sequence"):
+            raise KernelUnsupported("no full-knowledge oracle to mirror")
+        if index_of is None:
+            raise KernelUnsupported("engine did not supply the dense node order")
+        plan = convergecast_plan(
+            oracle.full_sequence(), list(index_of), sink_node, start=0
+        )
+        if plan is None:
+            # No convergecast fits: the object form never transmits either.
+            return _empty_plan_state()
+        return _plan_state(plan, index_of)
+
+    def decide_block(self, state, iu, iv, t):
+        return _plan_decide_block(state, iu, iv, t)
+
+
+@register_kernel
+class FutureBroadcastKernel(DecisionKernel):
+    """Array form of :class:`~repro.algorithms.future_broadcast.FutureBroadcast`.
+
+    Supported exactly when the trial's ``future`` oracle is backed by the
+    very sequence the trial executes: then no node transmits before the
+    canonical gossip completion time ``T_bcast`` (the convergecast plan
+    starts strictly after it), so every node still owns data throughout the
+    gossip phase, the realized table merges equal the unconditional gossip
+    simulation, and every decision from ``T_bcast + 1`` on reduces to the
+    same plan lookup the object form performs — which the kernel
+    materialises once per trial via the shared
+    :func:`~repro.algorithms.future_broadcast.broadcast_then_convergecast_plan`.
+    (The object reconstructs the sequence from gossiped futures rather than
+    reading it whole; reconstruction can orient pairs differently, but both
+    the gossip simulation and the convergecast builder are
+    orientation-insensitive, so the plans coincide.)
+    """
+
+    algorithm_name = "future_broadcast"
+    vectorized = True
+    sparse = True
+
+    def prepare(self, algorithm, source, knowledge, horizon, n, sink_index,
+                translate=None, sink_node=None, index_of=None):
+        from ..knowledge.future import FutureKnowledge
+        from .future_broadcast import broadcast_then_convergecast_plan
+
+        oracle = _bundle_oracle(knowledge, "future")
+        if not isinstance(oracle, FutureKnowledge):
+            raise KernelUnsupported("no future oracle to mirror")
+        if oracle.sequence is not source:
+            # Gossip dynamics depend on the interactions that actually
+            # occur; only an oracle backed by the trial's own sequence is
+            # provably mirrored by the offline simulation.
+            raise KernelUnsupported(
+                "future oracle is not backed by the trial's own sequence"
+            )
+        if index_of is None:
+            raise KernelUnsupported("engine did not supply the dense node order")
+        _, plan = broadcast_then_convergecast_plan(
+            oracle.sequence, list(index_of), sink_node
+        )
+        if plan is None:
+            # Gossip never completes (or no convergecast fits after it):
+            # the object form never transmits either.
+            return _empty_plan_state()
+        return _plan_state(plan, index_of)
+
+    def decide_block(self, state, iu, iv, t):
+        return _plan_decide_block(state, iu, iv, t)
+
+
+class _TreeState:
+    """Per-trial spanning-tree bookkeeping in dense-index form.
+
+    ``parent``/``parent_list`` are the tree in array and list form (``-1``
+    for the root and unreachable nodes); ``needed[i]`` counts node ``i``'s
+    tree children and ``received[i]`` how many have reported in.  Because
+    ownership is monotone a child transmits at most once, so the counter is
+    equivalent to the object form's received-children *set*.
+    """
+
+    __slots__ = ("parent", "parent_list", "needed", "received")
+
+    def __init__(self, parent: List[int], needed: List[int]) -> None:
+        self.parent = np.asarray(parent, dtype=np.int64)
+        self.parent_list = list(parent)
+        self.needed = list(needed)
+        self.received = [0] * len(parent)
+
+
+@register_kernel
+class SpanningTreeKernel(DecisionKernel):
+    """Array form of :class:`~repro.algorithms.spanning_tree.SpanningTreeAggregation`.
+
+    The BFS tree of G-bar is deterministic, so the candidate set is exactly
+    the tree edges — ``sparse``, since a tree has ``n - 1`` edges out of
+    ~``n²/2`` possible pairs.  Whether a child may transmit depends on how
+    many of its children have already reported, which is running state, so
+    tree-edge candidates are returned :data:`PENDING` and resolved scalar-
+    side in time order on live candidates only — the exact call sites where
+    the reference engine queries the object algorithm.  Tree antisymmetry
+    (``parent[u] == v`` and ``parent[v] == u`` cannot both hold) makes the
+    raw-order branch test safe.
+    """
+
+    algorithm_name = "spanning_tree"
+    vectorized = True
+    sparse = True
+
+    def prepare(self, algorithm, source, knowledge, horizon, n, sink_index,
+                translate=None, sink_node=None, index_of=None):
+        from .spanning_tree import dense_bfs_tree
+
+        oracle = _bundle_oracle(knowledge, "underlying_graph")
+        if oracle is None or not hasattr(oracle, "underlying_graph"):
+            raise KernelUnsupported("no underlying-graph oracle to mirror")
+        if index_of is None:
+            raise KernelUnsupported("engine did not supply the dense node order")
+        graph = oracle.underlying_graph()
+        if sink_node not in graph:
+            # The object form would crash computing the BFS tree; the
+            # fallback engine reproduces that behaviour faithfully.
+            raise KernelUnsupported("sink is not a node of the underlying graph")
+        parent, needed = dense_bfs_tree(graph, sink_node, index_of)
+        return _TreeState(parent, needed)
+
+    def decide_block(self, state, iu, iv, t):
+        parent = state.parent
+        dirs = np.full(iu.shape[0], NO_TRANSMISSION, dtype=np.int8)
+        dirs[(parent[iu] == iv) | (parent[iv] == iu)] = PENDING
+        return dirs
+
+    def resolve_one(self, state, iu, iv, t):
+        if state.parent_list[iu] == iv:
+            child, parent, direction = iu, iv, SECOND_RECEIVES
+        else:
+            child, parent, direction = iv, iu, FIRST_RECEIVES
+        if state.received[child] == state.needed[child]:
+            state.received[parent] += 1
+            return direction
+        return NO_TRANSMISSION

@@ -86,6 +86,31 @@ class SpanningTreeAggregation(DODAAlgorithm):
         return None
 
 
+def dense_bfs_tree(
+    graph: nx.Graph, root: NodeId, index_of: Dict[NodeId, int]
+) -> Tuple[List[int], List[int]]:
+    """The deterministic BFS tree in dense-index form for the array engine.
+
+    Returns ``(parent, needed)`` lists indexed by ``index_of`` position:
+    ``parent[i]`` is the dense index of node ``i``'s tree parent (``-1`` for
+    the root, unreachable nodes, and parents outside ``index_of``) and
+    ``needed[i]`` counts *all* tree children of node ``i`` — including
+    children outside ``index_of``, which can never report in and therefore
+    keep the node waiting forever, exactly like the object algorithm's
+    never-satisfiable ``expected`` set.
+    """
+    parent_map, children_map = build_bfs_tree(graph, root)
+    size = len(index_of)
+    parent = [-1] * size
+    needed = [0] * size
+    for node, position in index_of.items():
+        tree_parent = parent_map.get(node)
+        if tree_parent is not None:
+            parent[position] = index_of.get(tree_parent, -1)
+        needed[position] = len(children_map.get(node, ()))
+    return parent, needed
+
+
 def build_bfs_tree(
     graph: nx.Graph, root: NodeId
 ) -> Tuple[Dict[NodeId, Optional[NodeId]], Dict[NodeId, Set[NodeId]]]:

@@ -135,7 +135,12 @@ def run_campaign(
     kwargs = [_cell_kwargs(spec, cell, spec.engine) for cell in to_run]
     cell_results = run_sweep_cells(kwargs, workers=workers, with_timing=True)
     for cell, (metrics, elapsed) in zip(to_run, cell_results):
-        store.write_cell(cell, metrics, spec.engine, elapsed)
+        fallback_count = sum(
+            1 for trial_metrics in metrics if "engine_fallback" in trial_metrics.extra
+        )
+        store.write_cell(
+            cell, metrics, spec.engine, elapsed, fallback_count=fallback_count
+        )
         executed.append(cell.key)
         if cell.key in repaired_keys:
             repaired += 1

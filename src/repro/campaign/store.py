@@ -257,8 +257,16 @@ class CampaignStore:
         metrics: Sequence[TrialMetrics],
         engine: str,
         elapsed_seconds: float,
+        fallback_count: int = 0,
     ) -> None:
-        """Checkpoint one completed cell: shard first, then manifest entry."""
+        """Checkpoint one completed cell: shard first, then manifest entry.
+
+        ``fallback_count`` records how many of the cell's trials the
+        vectorized engine routed to the fast fallback — engine bookkeeping,
+        so it lives in the manifest entry (like ``engine`` and the wall
+        clock), never in the shard bytes: shards stay deterministic
+        functions of the spec.
+        """
         records = [
             metrics_to_record(trial_metrics, trial, cell.adversary)
             for trial, trial_metrics in enumerate(metrics)
@@ -275,6 +283,7 @@ class CampaignStore:
             "digest": hashlib.sha256(payload).hexdigest(),
             "shard": f"{_CELL_DIR}/{cell.key}.jsonl",
             "engine": engine,
+            "fallbacks": int(fallback_count),
             "elapsed_seconds": round(elapsed_seconds, 6),
             "completed_at": time.time(),
         }

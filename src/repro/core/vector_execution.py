@@ -30,11 +30,16 @@ The engine is **metric-identical** to the reference executor — same
 transmission log, same durations, same :class:`~repro.core.execution.
 ExecutionResult` fields, seed for seed — enforced by the differential suite
 in ``tests/test_vector_execution.py`` and the invariant harness in
-``tests/test_property_engine.py``.  Any trial it cannot reproduce exactly —
-an algorithm without a kernel (``spanning_tree``, ``full_knowledge``,
-``future_broadcast``), a non-committed interaction source, an oracle shape
-a kernel cannot mirror, ``enforce_oblivious`` runs — transparently falls
-back to :class:`~repro.core.fast_execution.FastExecutor`.
+``tests/test_property_engine.py``.  Every registered algorithm has a
+decision kernel, so under the standard sim-layer trial shapes no trial ever
+leaves the lockstep.  The few trials the kernels cannot reproduce exactly —
+an adaptive / non-committed interaction source, an oracle shape a kernel
+cannot mirror, ``enforce_oblivious`` runs, unorderable node identifiers, a
+sequential-kernel (RNG) algorithm instance shared across trials — fall back
+to :class:`~repro.core.fast_execution.FastExecutor`, and the engine reports
+each downgrade through :attr:`VectorizedExecutor.last_fallbacks`
+(per-trial :class:`EngineFallback` records with human-readable reasons);
+the sim layer surfaces nonzero counts as :class:`EngineFallbackWarning`.
 
 Engine selection guidance lives in ``src/repro/README.md``; the speedup
 trajectory (~32x over the reference engine on the standard n = 120
@@ -46,7 +51,7 @@ Waiting / Gathering / Waiting-Greedy sweep) is recorded in
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, Iterable, List, Optional, Union
+from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -71,7 +76,36 @@ from .fast_execution import (
 )
 from .interaction import InteractionSequence
 
-__all__ = ["VectorizedExecutor", "INITIAL_BLOCK"]
+__all__ = [
+    "EngineFallback",
+    "EngineFallbackWarning",
+    "VectorizedExecutor",
+    "INITIAL_BLOCK",
+]
+
+
+class EngineFallbackWarning(RuntimeWarning):
+    """A vectorized batch silently ran some trials on the fallback engine.
+
+    Emitted (once per sweep cell, by the sim layer) when a batch submitted
+    to :class:`VectorizedExecutor` routed one or more trials to
+    :class:`~repro.core.fast_execution.FastExecutor`: the results are still
+    exact, but any ``engine=vectorized`` label on the cell's timings no
+    longer describes how those trials actually ran.
+    """
+
+
+@dataclass(frozen=True)
+class EngineFallback:
+    """One trial of a batch that ran on the fallback engine, and why.
+
+    ``position`` is the trial's index in the batch submitted to
+    :meth:`VectorizedExecutor.run_many`; ``reason`` is a human-readable
+    explanation (kernel precondition messages are captured verbatim).
+    """
+
+    position: int
+    reason: str
 
 #: First block length of a batch.  Starting small keeps the scalar
 #: candidate walk short through the dense early phase (when every node
@@ -185,6 +219,12 @@ class VectorizedExecutor:
         self._rank: Optional[np.ndarray] = (
             None if ranks is None else np.asarray(ranks, dtype=np.int64)
         )
+        #: Per-trial fallback records of the most recent :meth:`run_many`
+        #: batch (empty when every trial ran the lockstep).  A side channel
+        #: rather than an ``ExecutionResult`` field: results stay
+        #: byte-identical across engines, while the batch caller can still
+        #: observe — and report — every engine downgrade.
+        self.last_fallbacks: Tuple[EngineFallback, ...] = ()
 
     # ------------------------------------------------------------------ #
     def run(
@@ -219,6 +259,7 @@ class VectorizedExecutor:
         reference engine), so the returned list is uniformly exact.
         """
         batch = list(trials)
+        self.last_fallbacks = ()
         results: List[Optional[ExecutionResult]] = [None] * len(batch)
         effective = [
             trial.algorithm if trial.algorithm is not None else self.algorithm
@@ -232,13 +273,17 @@ class VectorizedExecutor:
         # (FastExecutor.run_many is sequential) and therefore the stream.
         stateful_uses: Dict[int, int] = {}
         for algorithm in effective:
-            kernel = get_kernel(algorithm.name)
-            if kernel is not None and not kernel.vectorized:
+            try:
+                kernel = get_kernel(algorithm.name)
+            except LookupError:
+                continue  # _prepare_trial reports the missing kernel
+            if not kernel.vectorized:
                 key = id(algorithm)
                 stateful_uses[key] = stateful_uses.get(key, 0) + 1
         kernel_trials: List[_KernelTrial] = []
         fallback: List[BatchTrial] = []
         fallback_positions: List[int] = []
+        fallbacks: List[EngineFallback] = []
         for position, trial in enumerate(batch):
             algorithm = effective[position]
             knowledge = (
@@ -246,18 +291,26 @@ class VectorizedExecutor:
             )
             available = () if knowledge is None else knowledge.provides()
             algorithm.validate_knowledge(available)
-            if stateful_uses.get(id(algorithm), 0) > 1:
-                prepared = None
+            shared = stateful_uses.get(id(algorithm), 0)
+            if shared > 1:
+                prepared: Union[_KernelTrial, str] = (
+                    f"sequential (RNG) kernel state shared across "
+                    f"{shared} trials of the batch"
+                )
             else:
                 prepared = self._prepare_trial(
                     position, algorithm, knowledge, trial
                 )
-            if prepared is None:
-                fallback.append(trial)
-                fallback_positions.append(position)
-            else:
+            if isinstance(prepared, _KernelTrial):
                 algorithm.on_run_start(self.nodes, self.sink)
                 kernel_trials.append(prepared)
+            else:
+                fallback.append(trial)
+                fallback_positions.append(position)
+                fallbacks.append(
+                    EngineFallback(position=position, reason=prepared)
+                )
+        self.last_fallbacks = tuple(fallbacks)
         if fallback:
             engine = FastExecutor(
                 self.nodes,
@@ -278,6 +331,16 @@ class VectorizedExecutor:
                 results[position] = result
         return results  # type: ignore[return-value]
 
+    @property
+    def last_fallback_count(self) -> int:
+        """How many trials of the last batch ran on the fallback engine."""
+        return len(self.last_fallbacks)
+
+    @property
+    def last_fallback_reasons(self) -> Tuple[str, ...]:
+        """The per-trial fallback reasons of the last batch, in batch order."""
+        return tuple(record.reason for record in self.last_fallbacks)
+
     # ------------------------------------------------------------------ #
     def _prepare_trial(
         self,
@@ -285,13 +348,19 @@ class VectorizedExecutor:
         algorithm: DODAAlgorithm,
         knowledge: Any,
         trial: BatchTrial,
-    ) -> Optional[_KernelTrial]:
-        """Route one trial: a prepared kernel trial, or None for fallback."""
-        if self.enforce_oblivious or self._rank is None:
-            return None
-        kernel = get_kernel(algorithm.name)
-        if kernel is None:
-            return None
+    ) -> Union[_KernelTrial, str]:
+        """Route one trial: a prepared kernel trial, or the fallback reason."""
+        if self.enforce_oblivious:
+            return (
+                "enforce_oblivious requires the fallback engine's "
+                "node-memory write check"
+            )
+        if self._rank is None:
+            return "node identifiers have no canonical total order"
+        try:
+            kernel = get_kernel(algorithm.name)
+        except LookupError as exc:
+            return str(exc.args[0]) if exc.args else str(exc)
         source = trial.source
         horizon = trial.max_interactions
         translate: Optional[np.ndarray] = None
@@ -301,11 +370,13 @@ class VectorizedExecutor:
             try:
                 fetcher: Any = _SequenceBlocks(source, self.index_of)
             except KeyError:
-                # The sequence mentions nodes outside the executor's node
-                # set.  The per-interaction engines only trip over such an
+                # The per-interaction engines only trip over such an
                 # interaction if the run actually reaches it, so route the
                 # trial to the fallback instead of failing eagerly.
-                return None
+                return (
+                    "interaction sequence mentions nodes outside the "
+                    "executor's node set"
+                )
         elif hasattr(source, "committed_index_block"):
             if horizon is None:
                 raise ConfigurationError(
@@ -321,10 +392,18 @@ class VectorizedExecutor:
                         count=len(source_nodes),
                     )
                 except KeyError:
-                    return None  # node-set mismatch: let the fallback report
+                    # Let the fallback engine report (or survive) the
+                    # mismatch exactly as the reference engine would.
+                    return (
+                        "adversary node set is not a subset of the "
+                        "executor's node set"
+                    )
             fetcher = source
         else:
-            return None  # adaptive / generic providers stay per-interaction
+            return (
+                "adaptive / non-committed interaction provider "
+                "(no committed future to vectorize)"
+            )
         try:
             state = kernel.prepare(
                 algorithm,
@@ -335,9 +414,10 @@ class VectorizedExecutor:
                 self.sink_index,
                 translate=translate,
                 sink_node=self.sink,
+                index_of=self.index_of,
             )
-        except KernelUnsupported:
-            return None
+        except KernelUnsupported as exc:
+            return f"kernel precondition failed: {exc}"
         payloads = trial.initial_payloads or {}
         return _KernelTrial(
             index=position,

@@ -28,11 +28,13 @@ completed cell as one store shard.
 
 from __future__ import annotations
 
+import warnings
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..core.algorithm import DODAAlgorithm
 from ..core.data import NodeId
 from ..core.fast_execution import BatchTrial, FastExecutor
+from ..core.vector_execution import EngineFallback, EngineFallbackWarning
 from .metrics import TrialMetrics
 from .runner import (
     AlgorithmFactory,
@@ -70,10 +72,14 @@ def run_sweep_cell(
     are identical to the per-trial path.  ``engine="fast"`` routes the cell
     through :meth:`FastExecutor.run_many`, ``engine="vectorized"`` through
     the struct-of-arrays lockstep of :meth:`~repro.core.vector_execution.
-    VectorizedExecutor.run_many` (with per-trial fast-engine fallback for
-    kernel-less algorithms); ``engine="reference"`` runs one reference
-    executor per trial (the semantics oracle for differential tests of this
-    very function).  ``block_size`` tunes the batched engines' committed
+    VectorizedExecutor.run_many` — every registered algorithm has a decision
+    kernel, so a trial leaves the lockstep only for the exceptional shapes
+    listed in :mod:`repro.core.vector_execution`; when that happens the cell
+    emits one :class:`EngineFallbackWarning` and tags the affected trials'
+    metrics with ``extra["engine_fallback"]`` (the reason string).
+    ``engine="reference"`` runs one reference executor per trial (the
+    semantics oracle for differential tests of this very function).
+    ``block_size`` tunes the batched engines' committed
     window (None keeps each engine's default).  ``capture_opt=True``
     additionally evaluates the offline-optimum baseline per trial (the
     vectorized engine does so for the whole cell in one batched kernel
@@ -141,7 +147,20 @@ def run_sweep_cell(
                 )
 
         results = cell_executor.run_many(batch_trials())
+        fallbacks: Tuple[EngineFallback, ...] = getattr(
+            cell_executor, "last_fallbacks", ()
+        )
+        if fallbacks:
+            reasons = sorted({record.reason for record in fallbacks})
+            warnings.warn(
+                f"vectorized engine fell back to the fast engine for "
+                f"{len(fallbacks)} of {trials} trials of cell "
+                f"(algorithm={meta[0][0]!r}, n={n}): {'; '.join(reasons)}",
+                EngineFallbackWarning,
+                stacklevel=2,
+            )
     else:
+        fallbacks = ()
         results = []
         for trial in range(trials):
             algorithm, knowledge, source, horizon, seed = prepare(trial)
@@ -153,11 +172,27 @@ def run_sweep_cell(
                 ).run(source, max_interactions=horizon)
             )
 
+    # Fallen-back trials are tagged in ``extra`` (an equality-relevant field,
+    # but only set on trials that actually downgraded, so zero-fallback cells
+    # stay byte-identical across engines; campaign shards ignore ``extra``
+    # entirely).
+    reason_of = {record.position: record.reason for record in fallbacks}
     return [
         TrialMetrics.from_result(
-            result, n=n, seed=seed, algorithm=name, horizon=horizon
+            result,
+            n=n,
+            seed=seed,
+            algorithm=name,
+            horizon=horizon,
+            extra=(
+                {"engine_fallback": reason_of[trial]}
+                if trial in reason_of
+                else None
+            ),
         )
-        for result, (name, horizon, seed) in zip(results, meta)
+        for trial, (result, (name, horizon, seed)) in enumerate(
+            zip(results, meta)
+        )
     ]
 
 

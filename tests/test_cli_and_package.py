@@ -189,16 +189,60 @@ class TestVectorizedEngineCLI:
         )
         assert capsys.readouterr().out == reference
 
-    @pytest.mark.parametrize("algorithm", ("spanning_tree", "full_knowledge"))
-    def test_sweep_vectorized_fallback_algorithms(self, algorithm, capsys):
-        """Kernel-less algorithms run (via the fast-engine fallback)."""
+    @pytest.mark.parametrize(
+        "algorithm", ("spanning_tree", "full_knowledge", "future_broadcast")
+    )
+    def test_sweep_vectorized_knowledge_algorithms(self, algorithm, capsys):
+        """The knowledge-heavy algorithms run kernelized — no fallback."""
+        import warnings
+
+        from repro.core.vector_execution import EngineFallbackWarning
+
         assert main(["sweep", algorithm, "--ns", "8", "--trials", "2"]) == 0
         reference = capsys.readouterr().out
-        assert (
-            main(["sweep", algorithm, "--ns", "8", "--trials", "2",
-                  "--engine", "vectorized", "--batched"]) == 0
-        )
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", EngineFallbackWarning)
+            assert (
+                main(["sweep", algorithm, "--ns", "8", "--trials", "2",
+                      "--engine", "vectorized", "--batched"]) == 0
+            )
         assert capsys.readouterr().out == reference
+
+    @pytest.mark.parametrize(
+        "algorithm", ("spanning_tree", "full_knowledge", "future_broadcast")
+    )
+    def test_trial_vectorized_knowledge_algorithms(self, algorithm, capsys):
+        assert main(["trial", algorithm, "--n", "12", "--seed", "1"]) == 0
+        reference = capsys.readouterr().out
+        assert main(["trial", algorithm, "--n", "12", "--seed", "1",
+                     "--engine", "vectorized"]) == 0
+        assert capsys.readouterr().out == reference
+
+    def test_sweep_vectorized_unknown_kernel_warns(self, monkeypatch, capsys):
+        """Removing a kernel surfaces the strict lookup error, CLI-visible.
+
+        ``get_kernel`` now raises a ``KeyError`` naming the algorithm and
+        listing the registered kernels; the vectorized engine turns that
+        into a per-cell ``EngineFallbackWarning`` carrying the same
+        message, and the sweep still completes with reference-identical
+        output.
+        """
+        from repro.algorithms import kernels as kernels_module
+        from repro.core.vector_execution import EngineFallbackWarning
+
+        assert main(["sweep", "gathering", "--ns", "8", "--trials", "2"]) == 0
+        reference = capsys.readouterr().out
+        monkeypatch.delitem(kernels_module.KERNELS, "gathering")
+        with pytest.warns(EngineFallbackWarning) as caught:
+            assert (
+                main(["sweep", "gathering", "--ns", "8", "--trials", "2",
+                      "--engine", "vectorized", "--batched"]) == 0
+            )
+        assert capsys.readouterr().out == reference
+        message = str(caught[0].message)
+        assert "no decision kernel is registered for algorithm" in message
+        assert "'gathering'" in message
+        assert "registered kernels:" in message
 
     def test_sweep_vectorized_mobility_adversary(self, capsys):
         assert (

@@ -33,6 +33,10 @@ FAMILIES = ("zipf", "hub", "waypoint", "community")
 SEEDS = (0, 1, 2)
 N = 12
 
+# The knowledge-heavy algorithms that gained decision kernels; kept out of
+# the slow marker so the default run always exercises their full matrix.
+KNOWLEDGE_HEAVY = ("spanning_tree", "full_knowledge", "future_broadcast")
+
 
 def make_algorithm(name: str, n: int):
     """Instantiate a registered algorithm with deterministic parameters."""
@@ -62,6 +66,56 @@ class TestAllAlgorithmsAllFamilies:
                 engine=engine, adversary=family,
             )
             assert candidate == reference, (engine, family, name, seed)
+
+
+class TestKnowledgeHeavyAlgorithms:
+    """The newly kernelized algorithms across every committed family.
+
+    The slow full-registry matrix (:class:`TestAllAlgorithmsAllFamilies`)
+    covers these three too, but they only just gained kernels — so the
+    default ``-m "not slow"`` run pins them differentially against the
+    reference engine on every committed family and on trace replay.
+    """
+
+    @pytest.mark.parametrize("engine", ("fast", "vectorized"))
+    @pytest.mark.parametrize("family", ("uniform",) + FAMILIES)
+    @pytest.mark.parametrize("name", KNOWLEDGE_HEAVY)
+    def test_engines_agree(self, name, family, engine):
+        for seed in SEEDS:
+            reference, _ = execute_random_trial(
+                make_algorithm(name, N), N, seed,
+                engine="reference", adversary=family,
+            )
+            candidate, _ = execute_random_trial(
+                make_algorithm(name, N), N, seed,
+                engine=engine, adversary=family,
+            )
+            assert candidate == reference, (engine, family, name, seed)
+
+    @pytest.mark.parametrize("name", KNOWLEDGE_HEAVY)
+    def test_trace_replay(self, name):
+        from repro.core.vector_execution import VectorizedExecutor
+        from repro.sim.runner import build_knowledge_for_random_run
+
+        trace = VehicularGridTrace(
+            vehicle_count=8, grid_size=4, steps=300, seed=6
+        ).build()
+        nodes = list(trace.nodes)
+
+        def run(engine_cls):
+            algorithm = make_algorithm(name, len(nodes))
+            adversary = TraceReplayAdversary(trace)
+            knowledge, committed = build_knowledge_for_random_run(
+                algorithm, adversary, nodes, trace.sink, trace.length
+            )
+            source = committed if committed is not None else adversary
+            return engine_cls(
+                nodes, trace.sink, algorithm, knowledge=knowledge
+            ).run(source, max_interactions=trace.length)
+
+        reference = run(Executor)
+        assert run(FastExecutor) == reference
+        assert run(VectorizedExecutor) == reference
 
 
 class TestShapes:

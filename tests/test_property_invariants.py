@@ -248,6 +248,38 @@ def test_competitive_ratio_at_least_one(engine, adversary):
             assert metrics.competitive_ratio == math.inf
 
 
+@pytest.mark.parametrize("engine", ["reference", "fast", "vectorized"])
+@pytest.mark.parametrize(
+    "name", ["spanning_tree", "full_knowledge", "future_broadcast"]
+)
+def test_competitive_ratio_knowledge_algorithms(engine, name):
+    """Ratio >= 1 holds for the knowledge-heavy algorithms on every engine.
+
+    These three run trial-vectorized through their own decision kernels
+    now, so the invariant guards the kernel path as well as the object
+    form: whenever a trial terminates the captured ratio is finite and
+    at least 1, and exactly ``duration / opt_cost``.
+    """
+    from repro.core.algorithm import registry
+    from repro.sim.runner import run_random_trial
+
+    for seed in range(3):
+        metrics = run_random_trial(
+            registry.create(name), 12, seed, engine=engine,
+            adversary="uniform", capture_opt=True,
+        )
+        assert metrics.opt_cost is not None
+        if metrics.terminated:
+            assert math.isfinite(metrics.opt_cost)
+            assert metrics.competitive_ratio is not None
+            assert metrics.competitive_ratio >= 1.0
+            assert metrics.competitive_ratio == (
+                metrics.duration / metrics.opt_cost
+            )
+        elif metrics.competitive_ratio is not None:
+            assert metrics.competitive_ratio == math.inf
+
+
 @common_settings
 @given(data=interaction_sequences())
 def test_ratio_kernel_opt_matches_oracle(data):

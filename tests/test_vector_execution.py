@@ -3,12 +3,16 @@
 The contract under test: :class:`~repro.core.vector_execution.
 VectorizedExecutor` is **exactly** interchangeable with the reference
 executor — same :class:`~repro.core.execution.ExecutionResult` including
-the transmission log, seed for seed — for every kernelized algorithm under
-every committed adversary family (uniform / zipf / hub / waypoint /
-community / trace replay), and transparently falls back to the fast engine
-everywhere else (kernel-less algorithms, adaptive providers,
-``enforce_oblivious`` runs).
+the transmission log, seed for seed — for **every registered algorithm**
+(all of which now carry decision kernels) under every committed adversary
+family (uniform / zipf / hub / waypoint / community / trace replay).  The
+few shapes no kernel can mirror (adaptive providers, mis-shaped oracles,
+``enforce_oblivious`` runs, shared RNG instances) fall back to the fast
+engine — exactly, and *observably*: every fallback carries a reason in
+``VectorizedExecutor.last_fallbacks`` and batched sweep cells warn.
 """
+
+import warnings
 
 import numpy as np
 import pytest
@@ -25,7 +29,7 @@ from repro.core.execution import Executor
 from repro.core.exceptions import ConfigurationError
 from repro.core.fast_execution import FastExecutor
 from repro.core.interaction import InteractionSequence
-from repro.core.vector_execution import VectorizedExecutor
+from repro.core.vector_execution import EngineFallbackWarning, VectorizedExecutor
 from repro.graph.traces import VehicularGridTrace
 from repro.sim.batch import run_sweep_cell, sweep_adversary_batched
 from repro.sim.parallel import sweep_random_adversary as parallel_sweep
@@ -38,10 +42,13 @@ from repro.sim.runner import (
 )
 
 FAMILIES = ("uniform", "zipf", "hub", "waypoint", "community")
-#: Algorithms with a registered decision kernel.
+#: Algorithms with a registered decision kernel — every registered
+#: algorithm, since PR 7 closed the spanning_tree / full_knowledge /
+#: future_broadcast gap.
 KERNELIZED = sorted(KERNELS)
-#: Algorithms that must transparently fall back to the fast engine.
-KERNEL_LESS = sorted(set(registry.names()) - set(KERNELS))
+#: The algorithms whose kernels were the last to land (the knowledge-heavy
+#: trio) — called out separately for the zero-fallback acceptance tests.
+KNOWLEDGE_HEAVY = ("spanning_tree", "full_knowledge", "future_broadcast")
 
 
 def make_algorithm(name: str, n: int):
@@ -70,14 +77,17 @@ def run_engine(engine_cls, name, n, seed, sink=0, family="uniform",
 
 
 class TestKernelRegistry:
-    def test_paper_algorithms_have_kernels(self):
-        for name in ("gathering", "waiting", "waiting_greedy",
-                     "coin_flip_gathering", "random_receiver"):
+    def test_every_registered_algorithm_has_a_kernel(self):
+        for name in registry.names():
             assert get_kernel(name) is not None, name
 
-    def test_knowledge_heavy_algorithms_have_no_kernels(self):
-        for name in ("spanning_tree", "full_knowledge", "future_broadcast"):
-            assert get_kernel(name) is None, name
+    def test_unknown_algorithm_raises_listing_registered_kernels(self):
+        with pytest.raises(KeyError) as excinfo:
+            get_kernel("no_such_algorithm")
+        message = str(excinfo.value)
+        assert "no_such_algorithm" in message
+        for name in KERNELS:
+            assert name in message, name
 
 
 class TestKernelVsObjectDifferential:
@@ -95,8 +105,6 @@ class TestKernelVsObjectDifferential:
 
     @pytest.mark.parametrize("name", KERNELIZED)
     def test_trace_replay_family(self, name):
-        from repro.knowledge import KnowledgeBundle, MeetTimeKnowledge
-
         trace = VehicularGridTrace(
             vehicle_count=9, grid_size=4, steps=400, seed=3
         ).build()
@@ -105,17 +113,15 @@ class TestKernelVsObjectDifferential:
         def run(engine_cls):
             algorithm = make_algorithm(name, len(nodes))
             adversary = TraceReplayAdversary(trace)
-            knowledge = None
-            if name == "waiting_greedy":
-                knowledge = KnowledgeBundle(
-                    MeetTimeKnowledge(
-                        adversary, trace.sink, horizon=trace.length,
-                        strict=False,
-                    )
-                )
+            # The standard sim-layer oracle assembly works for any committed
+            # adversary, trace replay included.
+            knowledge, committed = build_knowledge_for_random_run(
+                algorithm, adversary, nodes, trace.sink, trace.length
+            )
+            source = committed if committed is not None else adversary
             return engine_cls(
                 nodes, trace.sink, algorithm, knowledge=knowledge
-            ).run(adversary, max_interactions=trace.length)
+            ).run(source, max_interactions=trace.length)
 
         assert run(VectorizedExecutor) == run(Executor)
 
@@ -170,18 +176,37 @@ class TestKernelVsObjectDifferential:
             VectorizedExecutor(list(range(6)), 0, Gathering()).run(adversary)
 
 
-class TestFallback:
-    """Trials the kernels cannot mirror run through the fast engine."""
+class _UnregisteredGathering(Gathering):
+    """A behavioural clone of Gathering whose name owns no kernel."""
 
-    @pytest.mark.parametrize("name", KERNEL_LESS)
-    def test_kernel_less_algorithms_fall_back_exactly(self, name):
-        reference, _ = execute_random_trial(
-            make_algorithm(name, 12), 12, seed=1, engine="reference"
-        )
-        vectorized, _ = execute_random_trial(
-            make_algorithm(name, 12), 12, seed=1, engine="vectorized"
-        )
-        assert vectorized == reference, name
+    name = "unregistered_probe"
+
+
+class TestFallback:
+    """The few trial shapes the kernels cannot mirror run through the fast
+    engine — exactly, and with an observable per-trial reason."""
+
+    def test_unregistered_algorithm_falls_back_with_reason(self):
+        nodes = list(range(10))
+        horizon = default_horizon(Gathering(), 10)
+
+        def run(engine_cls):
+            adversary = build_trial_adversary(
+                "uniform", nodes, 1, horizon, 0, None
+            )
+            executor = engine_cls(nodes, 0, _UnregisteredGathering())
+            return executor, executor.run(adversary, max_interactions=horizon)
+
+        executor, vectorized = run(VectorizedExecutor)
+        _, reference = run(Executor)
+        assert vectorized == reference
+        assert executor.last_fallback_count == 1
+        (reason,) = executor.last_fallback_reasons
+        assert "unregistered_probe" in reason
+        assert "registered kernels" in reason
+        # The catalog in the reason names every actual kernel.
+        for name in KERNELS:
+            assert name in reason, name
 
     def test_mismatched_oracle_sink_falls_back(self):
         """A meetTime oracle about a *different* sink cannot be mirrored."""
@@ -194,11 +219,43 @@ class TestFallback:
                 knowledge = KnowledgeBundle(
                     MeetTimeKnowledge(adversary, 3, horizon=600, strict=False)
                 )
-                return engine_cls(
+                executor = engine_cls(
                     nodes, 0, WaitingGreedy(tau=50), knowledge=knowledge
-                ).run(adversary, max_interactions=600)
+                )
+                return executor, executor.run(adversary, max_interactions=600)
 
-            assert run(VectorizedExecutor) == run(Executor), seed
+            vec_executor, vectorized = run(VectorizedExecutor)
+            _, reference = run(Executor)
+            assert vectorized == reference, seed
+            # The kernel's rejection message survives into the report.
+            (reason,) = vec_executor.last_fallback_reasons
+            assert reason.startswith("kernel precondition failed:"), reason
+            assert "different sink" in reason
+
+    def test_adversary_node_mismatch_reports_reason(self):
+        """An adversary naming nodes outside the executor's set routes to
+        the fallback with a reason, then behaves exactly like the reference
+        engine (crash or survive)."""
+        executor_nodes = [0, 1, 2, 3]
+
+        def run(engine_cls):
+            adversary = make_adversary(
+                "uniform", [0, 1, 2, 3, 4], seed=0, sink=0
+            )
+            executor = engine_cls(executor_nodes, 0, Gathering())
+            try:
+                return executor, ("ok", executor.run(
+                    adversary, max_interactions=200
+                ))
+            except Exception as exc:
+                return executor, ("error", type(exc).__name__)
+
+        vec_executor, vectorized = run(VectorizedExecutor)
+        _, reference = run(Executor)
+        assert vectorized == reference
+        assert vec_executor.last_fallback_reasons == (
+            "adversary node set is not a subset of the executor's node set",
+        )
 
     def test_sequence_with_foreign_node_falls_back(self):
         """A sequence naming nodes outside the instance must behave like the
@@ -206,9 +263,14 @@ class TestFallback:
         sequence = InteractionSequence.from_pairs([(0, 1), (0, 2), (0, 99)])
         nodes = [0, 1, 2]
         reference = Executor(nodes, 0, Gathering()).run(sequence)
-        vectorized = VectorizedExecutor(nodes, 0, Gathering()).run(sequence)
+        executor = VectorizedExecutor(nodes, 0, Gathering())
+        vectorized = executor.run(sequence)
         assert vectorized == reference
         assert vectorized.terminated
+        assert executor.last_fallback_reasons == (
+            "interaction sequence mentions nodes outside the executor's "
+            "node set",
+        )
 
     def test_adaptive_provider_falls_back(self):
         from repro.adversaries.constructions import Theorem1Adversary
@@ -217,10 +279,11 @@ class TestFallback:
         reference = Executor(nodes, "s", Gathering()).run(
             Theorem1Adversary(), max_interactions=500
         )
-        vectorized = VectorizedExecutor(nodes, "s", Gathering()).run(
-            Theorem1Adversary(), max_interactions=500
-        )
+        executor = VectorizedExecutor(nodes, "s", Gathering())
+        vectorized = executor.run(Theorem1Adversary(), max_interactions=500)
         assert vectorized == reference
+        (reason,) = executor.last_fallback_reasons
+        assert "adaptive" in reason
 
     def test_enforce_oblivious_falls_back(self):
         result = run_engine(Executor, "gathering", 10, seed=2)
@@ -228,10 +291,15 @@ class TestFallback:
         adversary = build_trial_adversary(
             "uniform", nodes, 2, default_horizon(Gathering(), 10), 0, None
         )
-        vectorized = VectorizedExecutor(
+        executor = VectorizedExecutor(
             nodes, 0, Gathering(), enforce_oblivious=True
-        ).run(adversary, max_interactions=default_horizon(Gathering(), 10))
+        )
+        vectorized = executor.run(
+            adversary, max_interactions=default_horizon(Gathering(), 10)
+        )
         assert vectorized == result
+        (reason,) = executor.last_fallback_reasons
+        assert "enforce_oblivious" in reason
 
     def test_shared_rng_algorithm_instance_falls_back(self):
         """One RNG-bearing instance shared by several trials must not enter
@@ -260,10 +328,12 @@ class TestFallback:
             batch(shared_fast)
         )
         shared_vec = RandomReceiver(seed=99)
-        actual = VectorizedExecutor(nodes, sink, shared_vec).run_many(
-            batch(shared_vec)
-        )
+        executor = VectorizedExecutor(nodes, sink, shared_vec)
+        actual = executor.run_many(batch(shared_vec))
         assert actual == expected
+        assert executor.last_fallback_count == 3
+        for reason in executor.last_fallback_reasons:
+            assert "shared across 3 trials" in reason
         # Distinct per-trial instances do take the kernel path and agree too.
         per_trial_fast = [
             BatchTrial(
@@ -295,7 +365,8 @@ class TestFallback:
         )
 
     def test_mixed_batch_preserves_order(self):
-        """Kernelized and fallback trials interleave in one batch."""
+        """Heterogeneous algorithms interleave in one batch — and, now that
+        every algorithm has a kernel, all of them take the lockstep."""
         from repro.core.fast_execution import BatchTrial
 
         n, sink = 11, 0
@@ -336,6 +407,74 @@ class TestFallback:
             )
         executor = VectorizedExecutor(nodes, sink, make_algorithm("gathering", n))
         assert executor.run_many(trials) == expected
+        assert executor.last_fallback_count == 0
+
+
+class TestFallbackReporting:
+    """The silent-downgrade bugfix: batched cells surface every fallback."""
+
+    def test_cell_with_fallbacks_warns_and_tags_metrics(self, monkeypatch):
+        """A pre-fix fallback cell (kernel artificially removed) now reports:
+        one warning per cell, and a reason tag on every affected trial."""
+        from repro.algorithms import kernels as kernels_module
+
+        monkeypatch.delitem(kernels_module.KERNELS, "spanning_tree")
+        factory = lambda n: make_algorithm("spanning_tree", n)
+        with pytest.warns(EngineFallbackWarning, match=r"4 of 4 trials"):
+            metrics = run_sweep_cell(
+                factory, 10, 4, master_seed=3, engine="vectorized"
+            )
+        assert len(metrics) == 4
+        for trial_metrics in metrics:
+            reason = trial_metrics.extra["engine_fallback"]
+            assert "spanning_tree" in reason
+            assert "registered kernels" in reason
+
+    @pytest.mark.parametrize("name", KNOWLEDGE_HEAVY)
+    def test_newly_kerneled_cells_run_with_zero_fallbacks(self, name):
+        """Acceptance: the knowledge-heavy trio runs trial-vectorized with
+        fallback_count == 0 on the default sweep, metric-identical to the
+        reference engine, without warnings or metric tags."""
+        factory = lambda n: make_algorithm(name, n)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", EngineFallbackWarning)
+            metrics = run_sweep_cell(
+                factory, 12, 5, master_seed=7, engine="vectorized"
+            )
+        assert all(
+            "engine_fallback" not in trial_metrics.extra
+            for trial_metrics in metrics
+        )
+        reference = run_sweep_cell(
+            factory, 12, 5, master_seed=7, engine="reference"
+        )
+        assert metrics == reference
+
+    @pytest.mark.parametrize("name", KNOWLEDGE_HEAVY)
+    def test_zero_fallbacks_at_executor_level(self, name):
+        """The executor's own counter agrees: no trial left the lockstep."""
+        algorithm = make_algorithm(name, 12)
+        nodes = list(range(12))
+        horizon = default_horizon(algorithm, 12)
+        adversary = build_trial_adversary("uniform", nodes, 0, horizon, 0, None)
+        knowledge, committed = build_knowledge_for_random_run(
+            algorithm, adversary, nodes, 0, horizon
+        )
+        source = committed if committed is not None else adversary
+        executor = VectorizedExecutor(nodes, 0, algorithm, knowledge=knowledge)
+        executor.run(source, max_interactions=horizon)
+        assert executor.last_fallback_count == 0
+        assert executor.last_fallback_reasons == ()
+
+    def test_fast_engine_cells_report_nothing(self):
+        """Fallback telemetry is a vectorized-engine concept; fast cells
+        carry no tags."""
+        factory = lambda n: make_algorithm("spanning_tree", n)
+        metrics = run_sweep_cell(factory, 10, 3, master_seed=1, engine="fast")
+        assert all(
+            "engine_fallback" not in trial_metrics.extra
+            for trial_metrics in metrics
+        )
 
 
 class TestCommittedIndexMatrix:
