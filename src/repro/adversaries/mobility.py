@@ -336,6 +336,52 @@ class TraceReplayAdversary(CommittedBlockAdversary):
         )
 
     @classmethod
+    def from_dense_indices(
+        cls,
+        i: np.ndarray,
+        j: np.ndarray,
+        nodes: Sequence[NodeId],
+        max_horizon: int = 10_000_000,
+    ) -> "TraceReplayAdversary":
+        """Build a replay adversary directly from dense node-index arrays.
+
+        ``i``/``j`` are positions into ``nodes`` (the same dense encoding the
+        committed buffers and the batched engines use), so this constructor
+        skips the per-interaction :class:`~repro.core.interaction.
+        InteractionSequence` round trip entirely — the adversarial search
+        loop scores thousands of mutated schedules through this path.  The
+        arrays are copied and validated (same length, indices in range,
+        no self-interactions).
+
+        Raises:
+            ConfigurationError: if the arrays are malformed.
+        """
+        trace_i = np.ascontiguousarray(i, dtype=np.int64)
+        trace_j = np.ascontiguousarray(j, dtype=np.int64)
+        if trace_i.ndim != 1 or trace_j.ndim != 1:
+            raise ConfigurationError("index arrays must be one-dimensional")
+        if trace_i.shape[0] != trace_j.shape[0]:
+            raise ConfigurationError(
+                f"index arrays disagree on length: {trace_i.shape[0]} vs "
+                f"{trace_j.shape[0]}"
+            )
+        n = len(nodes)
+        if trace_i.size:
+            low = min(int(trace_i.min()), int(trace_j.min()))
+            high = max(int(trace_i.max()), int(trace_j.max()))
+            if low < 0 or high >= n:
+                raise ConfigurationError(
+                    f"dense indices must lie in [0, {n}), found [{low}, {high}]"
+                )
+            if bool(np.any(trace_i == trace_j)):
+                raise ConfigurationError("self-interactions are not allowed")
+        adversary = cls.__new__(cls)
+        CommittedBlockAdversary.__init__(adversary, nodes, max_horizon=max_horizon)
+        adversary._trace_i = trace_i.copy()
+        adversary._trace_j = trace_j.copy()
+        return adversary
+
+    @classmethod
     def from_csv(
         cls,
         path: Union[str, Path],

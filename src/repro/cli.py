@@ -18,6 +18,10 @@ Usage examples::
     python -m repro sweep gathering --ns 50,100,200 --trials 20 \
         --engine fast --workers 4
 
+    # adversarial worst-case search, persisting the find as a replayable corpus
+    python -m repro search gathering --family uniform --n 60 --budget 192 \
+        --store corpora/gathering-uniform
+
     # declarative campaign: run (resumable), inspect, report
     python -m repro campaign run examples/campaign_paper.toml --workers 4
     python -m repro campaign status campaigns/paper-grid
@@ -180,6 +184,77 @@ def build_parser() -> argparse.ArgumentParser:
         "(tuning knob for --engine fast/vectorized; only effective "
         "together with --batched; default: the engine's benchmarked "
         "default)",
+    )
+
+    search_parser = subparsers.add_parser(
+        "search",
+        help="adversarial worst-case search: mutate committed schedules to "
+        "hunt high-competitive-ratio instances (docs/search.md)",
+        description="Seeded elitist search over committed schedules "
+        "(docs/search.md): materialize family draws, mutate them through "
+        "invariant-preserving operators, score each generation in one "
+        "batched engine call with the offline-optimum baseline, and "
+        "optionally persist the hardest finds into a replayable "
+        "worst-case corpus.  Deterministic per --seed.",
+    )
+    search_parser.add_argument("algorithm", help="registered algorithm name")
+    search_parser.add_argument(
+        "--family",
+        choices=sorted(ADVERSARY_FAMILIES),
+        default="uniform",
+        help="adversary family whose schedules are searched (default: uniform)",
+    )
+    search_parser.add_argument("--n", type=int, default=60, help="number of nodes (default: 60)")
+    search_parser.add_argument(
+        "--budget",
+        type=int,
+        default=192,
+        help="total candidate evaluations, initial samples included (default: 192)",
+    )
+    search_parser.add_argument("--seed", type=int, default=0, help="master seed (default: 0)")
+    search_parser.add_argument(
+        "--pool-size", type=int, default=6, help="elitist pool size (default: 6)"
+    )
+    search_parser.add_argument(
+        "--generation-size",
+        type=int,
+        default=16,
+        help="children per generation — one engine call each (default: 16)",
+    )
+    search_parser.add_argument(
+        "--initial", type=int, default=32, help="initial family draws (default: 32)"
+    )
+    search_parser.add_argument(
+        "--horizon",
+        type=int,
+        default=None,
+        help="schedule length in interactions (default: the algorithm's "
+        "default horizon at n)",
+    )
+    search_parser.add_argument(
+        "--tau", type=int, default=None, help="tau parameter (waiting_greedy only)"
+    )
+    search_parser.add_argument(
+        "--engine",
+        choices=sorted(ENGINES),
+        default="vectorized",
+        help="scoring engine; under 'vectorized' any fallback aborts the "
+        "search instead of silently downgrading (default: vectorized)",
+    )
+    search_parser.add_argument(
+        "--store",
+        default=None,
+        help="persist the top finds into this worst-case corpus directory "
+        "(content-addressed; replayable via TraceReplayAdversary)",
+    )
+    search_parser.add_argument(
+        "--top",
+        type=int,
+        default=1,
+        help="how many pool members to persist with --store (default: 1)",
+    )
+    search_parser.add_argument(
+        "--output", help="write the markdown summary to this file", default=None
     )
 
     campaign_parser = subparsers.add_parser(
@@ -357,11 +432,100 @@ def main(argv: Optional[List[str]] = None) -> int:
         _emit(sweep.to_table().to_markdown(), args.output)
         return 0
 
+    if args.command == "search":
+        return _search_main(parser, args)
+
     if args.command == "campaign":
         return _campaign_main(parser, args)
 
     parser.error(f"unknown command {args.command!r}")
     return 2
+
+
+def _search_main(parser: argparse.ArgumentParser, args) -> int:
+    """Dispatch the ``search`` subcommand (adversarial worst-case search)."""
+    import math
+
+    from .search import (
+        SearchConfig,
+        SearchEngineFallbackError,
+        SearchError,
+        WorstCaseCorpus,
+        instance_from_candidate,
+        run_search,
+    )
+    from .sim.results import ResultTable
+
+    config = SearchConfig(
+        algorithm=args.algorithm,
+        family=args.family,
+        n=args.n,
+        budget=args.budget,
+        seed=args.seed,
+        engine=args.engine,
+        pool_size=args.pool_size,
+        generation_size=args.generation_size,
+        initial_samples=args.initial,
+        horizon=args.horizon,
+        tau=args.tau,
+    )
+    try:
+        outcome = run_search(config)
+    except (SearchError, SearchEngineFallbackError) as error:
+        parser.error(str(error))
+
+    digests = {}
+    if args.store is not None:
+        corpus = WorstCaseCorpus(args.store)
+        for rank, candidate in enumerate(outcome.pool[: max(args.top, 1)]):
+            if math.isfinite(candidate.score):
+                digests[rank] = corpus.add(
+                    instance_from_candidate(config, candidate)
+                )
+
+    table = ResultTable(
+        title=(
+            f"Adversarial search: {args.algorithm} × {args.family} "
+            f"(n={args.n}, budget={outcome.evaluations}, seed={args.seed})"
+        ),
+        columns=[
+            "rank",
+            "competitive_ratio",
+            "duration",
+            "opt_cost",
+            "lineage_depth",
+            "base_seed",
+            "digest",
+        ],
+    )
+    for rank, candidate in enumerate(outcome.pool):
+        metrics = candidate.metrics
+        table.add_row(
+            rank=rank,
+            competitive_ratio=(
+                round(candidate.score, 3)
+                if math.isfinite(candidate.score)
+                else None
+            ),
+            duration=(
+                int(metrics.duration) if metrics.terminated else None
+            ),
+            opt_cost=metrics.opt_cost,
+            lineage_depth=len(candidate.lineage),
+            base_seed=candidate.base_seed,
+            digest=digests.get(rank, ""),
+        )
+    table.add_note(
+        "best-so-far per generation: "
+        + ", ".join(
+            f"{value:.2f}" if math.isfinite(value) else "n/a"
+            for value in outcome.history
+        )
+    )
+    if args.store is not None:
+        table.add_note(f"persisted {len(digests)} instance(s) to {args.store}")
+    _emit(table.to_markdown(), args.output)
+    return 0 if math.isfinite(outcome.best_ratio) else 1
 
 
 def _campaign_store_dir(target: str):

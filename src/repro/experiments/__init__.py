@@ -22,11 +22,13 @@ from .randomized import (
     run_theorem9_waiting,
 )
 from .registry import EXPERIMENTS, ExperimentSpec, run_all, run_experiment
+from .search import run_adversarial_search
 
 __all__ = [
     "EXPERIMENTS",
     "ExperimentSpec",
     "algorithm_lineup",
+    "run_adversarial_search",
     "run_all",
     "run_comparison",
     "run_corollary1",

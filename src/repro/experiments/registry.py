@@ -19,6 +19,7 @@ from .impossibility import run_theorem1, run_theorem2, run_theorem3
 from .knowledge import run_theorem4, run_theorem5, run_theorem6
 from .mobility import run_mobility_adversaries, run_trace_replay
 from .ratio import run_ratio_vs_n
+from .search import run_adversarial_search
 from .randomized import (
     run_corollary1,
     run_cost_conversion,
@@ -69,6 +70,7 @@ EXPERIMENTS: Dict[str, ExperimentSpec] = {
         ExperimentSpec("E23", "Extension: trial-vectorized engine equivalence (+ speedup)", run_vectorized_engine_check),
         ExperimentSpec("E24", "Campaign round trip (fresh run ≡ interrupted + resumed)", run_campaign_roundtrip),
         ExperimentSpec("E25", "Competitive ratio vs n (offline-optimum baseline, per algorithm × adversary)", run_ratio_vs_n),
+        ExperimentSpec("E26", "Adversarial search beats equal-budget random sampling (+ exact corpus replay)", run_adversarial_search),
     )
 }
 

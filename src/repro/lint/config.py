@@ -64,6 +64,7 @@ DEFAULT_ALLOW: Mapping[str, Tuple[str, ...]] = {
         "src/repro/adversaries/randomized.py",
         "src/repro/adversaries/nonuniform.py",
         "src/repro/adversaries/mobility.py",
+        "src/repro/search/loop.py",
     ),
     # Manifest bookkeeping timestamps (deliberately outside result bytes).
     "RPL004": ("src/repro/campaign/store.py",),

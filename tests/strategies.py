@@ -1,0 +1,133 @@
+"""Shared generators for the test suite (hypothesis strategies + RNG helpers).
+
+Every test module that needs "a random committed schedule" or "a small
+sweep spec" should draw it from here instead of rolling an ad-hoc
+generator: one definition of what a valid schedule looks like (distinct
+endpoints, dense indices in range) keeps the property tests honest when
+the model changes.  The module deliberately has no pytest dependency —
+it is importable from any test or tool.
+
+Contents:
+
+* :func:`interaction_sequences` — hypothesis composite: ``(n, sequence)``
+  with pairwise-distinct endpoints (the executor-invariant workhorse).
+* :func:`committed_schedules` — hypothesis composite: a
+  :class:`repro.search.mutations.Schedule` (dense int64 index arrays),
+  the representation the adversarial search mutates.
+* :func:`sweep_specs` — hypothesis composite: small ``(ns, trials, seed)``
+  sweep shapes for runner/campaign round-trip properties.
+* :func:`random_sequence` / :func:`random_dense_pairs` — plain-RNG
+  helpers for differential tests that iterate many cases imperatively.
+* :data:`common_settings` — the suite's shared hypothesis settings.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+import numpy as np
+from hypothesis import HealthCheck, settings
+from hypothesis import strategies as st
+
+from repro.core.interaction import InteractionSequence
+
+__all__ = [
+    "committed_schedules",
+    "common_settings",
+    "interaction_sequences",
+    "random_dense_pairs",
+    "random_sequence",
+    "sweep_specs",
+]
+
+common_settings = settings(
+    max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+@st.composite
+def interaction_sequences(draw, min_nodes=3, max_nodes=7, min_len=1, max_len=80):
+    """A random node count and a random sequence of pairwise interactions."""
+    n = draw(st.integers(min_value=min_nodes, max_value=max_nodes))
+    length = draw(st.integers(min_value=min_len, max_value=max_len))
+    pairs = []
+    for _ in range(length):
+        u = draw(st.integers(min_value=0, max_value=n - 1))
+        v = draw(st.integers(min_value=0, max_value=n - 2))
+        if v >= u:
+            v += 1
+        pairs.append((u, v))
+    return n, InteractionSequence.from_pairs(pairs)
+
+
+@st.composite
+def committed_schedules(draw, min_nodes=4, max_nodes=10, min_len=8, max_len=96):
+    """A random :class:`~repro.search.mutations.Schedule` (dense indices).
+
+    The returned schedule satisfies exactly the family invariants the
+    search's operators must preserve: one-dimensional int64 arrays of equal
+    length, indices in ``[0, n)``, no self-interactions.
+    """
+    from repro.search.mutations import Schedule
+
+    n = draw(st.integers(min_value=min_nodes, max_value=max_nodes))
+    length = draw(st.integers(min_value=min_len, max_value=max_len))
+    i: List[int] = []
+    j: List[int] = []
+    for _ in range(length):
+        u = draw(st.integers(min_value=0, max_value=n - 1))
+        v = draw(st.integers(min_value=0, max_value=n - 2))
+        if v >= u:
+            v += 1
+        i.append(u)
+        j.append(v)
+    return Schedule(
+        i=np.array(i, dtype=np.int64), j=np.array(j, dtype=np.int64), n=n
+    )
+
+
+@st.composite
+def sweep_specs(draw, max_points=3, max_n=12, max_trials=4):
+    """A small ``(ns, trials, seed)`` sweep shape (strictly increasing ns)."""
+    points = draw(st.integers(min_value=1, max_value=max_points))
+    ns = sorted(
+        draw(
+            st.sets(
+                st.integers(min_value=2, max_value=max_n),
+                min_size=points,
+                max_size=points,
+            )
+        )
+    )
+    trials = draw(st.integers(min_value=1, max_value=max_trials))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    return ns, trials, seed
+
+
+def random_sequence(rng: random.Random, n: int, length: int) -> InteractionSequence:
+    """A random interaction sequence from a plain :class:`random.Random`."""
+    pairs = []
+    for _ in range(length):
+        u = rng.randrange(n)
+        v = rng.randrange(n - 1)
+        if v >= u:
+            v += 1
+        pairs.append((u, v))
+    return InteractionSequence.from_pairs(pairs)
+
+
+def random_dense_pairs(
+    rng: random.Random, n: int, length: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Random dense index arrays with distinct endpoints (schedule shape)."""
+    i = np.empty(length, dtype=np.int64)
+    j = np.empty(length, dtype=np.int64)
+    for k in range(length):
+        u = rng.randrange(n)
+        v = rng.randrange(n - 1)
+        if v >= u:
+            v += 1
+        i[k] = u
+        j[k] = v
+    return i, j

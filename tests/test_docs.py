@@ -74,7 +74,7 @@ class TestDocsTree:
 class TestModuleDocstrings:
     """Docstring audit: every public module states its role (satellite)."""
 
-    PACKAGES = ("adversaries", "core", "sim", "campaign", "ratio")
+    PACKAGES = ("adversaries", "core", "sim", "campaign", "ratio", "search")
 
     def modules(self):
         for package in self.PACKAGES:
@@ -93,7 +93,7 @@ class TestModuleDocstrings:
         assert missing == [], f"modules without a real docstring: {missing}"
 
     def test_package_docstrings_state_invariants(self):
-        for package in ("adversaries", "sim", "campaign", "ratio"):
+        for package in ("adversaries", "sim", "campaign", "ratio", "search"):
             source = (
                 REPO_ROOT / "src" / "repro" / package / "__init__.py"
             ).read_text(encoding="utf-8")

@@ -34,8 +34,8 @@ TRIALS = 8
 
 class TestRegistry:
     def test_all_experiments_registered(self):
-        assert len(EXPERIMENTS) == 25
-        assert set(EXPERIMENTS) == {f"E{i}" for i in range(1, 26)}
+        assert len(EXPERIMENTS) == 26
+        assert set(EXPERIMENTS) == {f"E{i}" for i in range(1, 27)}
 
     def test_run_experiment_unknown_id(self):
         with pytest.raises(KeyError):

@@ -20,8 +20,9 @@ from __future__ import annotations
 import math
 
 import pytest
-from hypothesis import HealthCheck, given, settings
+from hypothesis import given
 from hypothesis import strategies as st
+from strategies import common_settings, interaction_sequences
 
 from repro.algorithms.gathering import Gathering
 from repro.algorithms.waiting import Waiting
@@ -37,29 +38,7 @@ from repro.offline.convergecast import (
 )
 from repro.offline.schedule import validate_schedule
 
-# ---------------------------------------------------------------------- #
-# Strategies
-# ---------------------------------------------------------------------- #
-
-
-@st.composite
-def interaction_sequences(draw, min_nodes=3, max_nodes=7, min_len=1, max_len=80):
-    """A random node count and a random sequence of pairwise interactions."""
-    n = draw(st.integers(min_value=min_nodes, max_value=max_nodes))
-    length = draw(st.integers(min_value=min_len, max_value=max_len))
-    pairs = []
-    for _ in range(length):
-        u = draw(st.integers(min_value=0, max_value=n - 1))
-        v = draw(st.integers(min_value=0, max_value=n - 2))
-        if v >= u:
-            v += 1
-        pairs.append((u, v))
-    return n, InteractionSequence.from_pairs(pairs)
-
-
-common_settings = settings(
-    max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow]
-)
+# Strategies are shared suite-wide — see tests/strategies.py.
 
 
 # ---------------------------------------------------------------------- #

@@ -18,6 +18,7 @@ import random
 
 import numpy as np
 import pytest
+from strategies import random_sequence
 
 from repro.adversaries.committed import CommittedBlockAdversary
 from repro.adversaries.factory import make_adversary
@@ -43,15 +44,7 @@ from repro.ratio.semantics import (
 )
 
 
-def random_sequence(rng: random.Random, n: int, length: int) -> InteractionSequence:
-    pairs = []
-    for _ in range(length):
-        u = rng.randrange(n)
-        v = rng.randrange(n - 1)
-        if v >= u:
-            v += 1
-        pairs.append((u, v))
-    return InteractionSequence.from_pairs(pairs)
+# random_sequence is shared suite-wide — see tests/strategies.py.
 
 
 def single_row(sequence: InteractionSequence, n: int):

@@ -1,0 +1,89 @@
+"""E26 and the ``repro search`` CLI.
+
+The tier-1 smoke runs E26 at a reduced scale (n=16, budget 48) — the
+experiment is deterministic per seed, so the thin margins are stable.  The
+full-budget run at the paper scale (n=60, budget 192) carries the ``slow``
+marker and runs in CI's slow lane.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.experiments.registry import EXPERIMENTS
+from repro.experiments.search import run_adversarial_search
+
+pytestmark = pytest.mark.search
+
+
+class TestExperimentE26:
+    def test_e26_registered(self):
+        assert "E26" in EXPERIMENTS
+        assert EXPERIMENTS["E26"].runner is run_adversarial_search
+
+    def test_e26_smoke_scale(self):
+        report = run_adversarial_search(n=16, budget=48, seed=0)
+        assert report.verdict
+        assert report.details["beating_pairs"] == 2
+        table = report.tables[0]
+        assert set(table.column("replay_identical")) == {True}
+        assert set(table.column("beats_p99")) == {True}
+        for search_best, random_p99 in zip(
+            table.column("search_best"), table.column("random_p99")
+        ):
+            assert search_best > random_p99
+        assert "bit-identical" in report.to_markdown()
+
+    def test_e26_smoke_is_deterministic(self):
+        first = run_adversarial_search(n=16, budget=48, seed=0)
+        second = run_adversarial_search(n=16, budget=48, seed=0)
+        assert first.details == second.details
+
+    @pytest.mark.slow
+    def test_e26_full_budget(self):
+        report = run_adversarial_search()
+        assert report.verdict
+        assert report.details["n"] == 60
+        assert report.details["budget"] == 192
+        assert report.details["beating_pairs"] == 2
+
+
+class TestSearchCLI:
+    def test_search_command_runs_and_persists(self, tmp_path, capsys):
+        store = tmp_path / "corpus"
+        code = main(
+            [
+                "search", "gathering",
+                "--family", "uniform",
+                "--n", "12",
+                "--budget", "24",
+                "--generation-size", "6",
+                "--pool-size", "3",
+                "--initial", "8",
+                "--store", str(store),
+                "--top", "2",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "competitive_ratio" in out
+        assert "best-so-far per generation" in out
+        manifest = json.loads((store / "manifest.json").read_text())
+        assert len(manifest["instances"]) >= 1
+        for summary in manifest["instances"].values():
+            assert summary["algorithm"] == "gathering"
+            assert summary["family"] == "uniform"
+            assert summary["competitive_ratio"] >= 1.0
+
+    def test_search_command_rejects_bad_config(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["search", "gathering", "--n", "1"])
+
+    def test_search_help_mentions_docs(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["search", "--help"])
+        out = capsys.readouterr().out
+        assert "docs/search.md" in out
