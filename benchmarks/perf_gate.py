@@ -64,6 +64,8 @@ ci.yml``) directly after the benchmark run.
 
 from __future__ import annotations
 
+import contextlib
+import io
 import json
 import sys
 from pathlib import Path
@@ -163,7 +165,9 @@ def knowledge_kernel_records() -> list:
     ]
 
 
-def check_knowledge_kernel(records: list, require_record: bool) -> int:
+def check_knowledge_kernel(
+    records: list, require_record: bool, gates: dict | None = None
+) -> int:
     """Gate the knowledge-kernel record: presence (CI mode) and hard floor.
 
     Like the opt kernel, this workload gets a single acceptance floor
@@ -183,12 +187,24 @@ def check_knowledge_kernel(records: list, require_record: bool) -> int:
                 "PYTHONPATH=src python -m pytest "
                 "benchmarks/test_bench_engine.py -x -q -s)"
             )
+            if gates is not None:
+                gates["knowledge_kernel"] = {"ok": False, "error": "missing record"}
             return 2
         print("no knowledge-kernel record yet; knowledge gate passes (bootstrap)")
+        if gates is not None:
+            gates["knowledge_kernel"] = {"ok": True, "bootstrap": True}
         return 0
     from test_bench_engine import MIN_KNOWLEDGE_VS_FAST
 
     latest = records[-1]["speedup"]
+    if gates is not None:
+        gates["knowledge_kernel"] = {
+            "ok": latest >= MIN_KNOWLEDGE_VS_FAST,
+            "speedup": latest,
+            "floor": MIN_KNOWLEDGE_VS_FAST,
+            "margin": round(latest - MIN_KNOWLEDGE_VS_FAST, 3),
+            "record": records[-1],
+        }
     print(
         f"latest recorded knowledge-kernel speedup: {latest:.1f}x vs the "
         f"fast engine (floor {MIN_KNOWLEDGE_VS_FAST:.1f}x)"
@@ -202,7 +218,9 @@ def check_knowledge_kernel(records: list, require_record: bool) -> int:
     return 0
 
 
-def check_opt_kernel(records: list, require_record: bool) -> int:
+def check_opt_kernel(
+    records: list, require_record: bool, gates: dict | None = None
+) -> int:
     """Gate the opt-kernel record: presence (CI mode) and hard floor.
 
     The opt kernel has a single acceptance floor (>= 10x, the same one
@@ -219,12 +237,24 @@ def check_opt_kernel(records: list, require_record: bool) -> int:
                 "the gate should have appended one (run PYTHONPATH=src "
                 "python -m pytest benchmarks/test_bench_opt.py -x -q -s)"
             )
+            if gates is not None:
+                gates["ratio_kernel"] = {"ok": False, "error": "missing record"}
             return 2
         print("no opt-kernel record yet; opt gate passes (bootstrap)")
+        if gates is not None:
+            gates["ratio_kernel"] = {"ok": True, "bootstrap": True}
         return 0
     from test_bench_opt import MIN_OPT_KERNEL_SPEEDUP
 
     latest = records[-1]["speedup"]
+    if gates is not None:
+        gates["ratio_kernel"] = {
+            "ok": latest >= MIN_OPT_KERNEL_SPEEDUP,
+            "speedup": latest,
+            "floor": MIN_OPT_KERNEL_SPEEDUP,
+            "margin": round(latest - MIN_OPT_KERNEL_SPEEDUP, 3),
+            "record": records[-1],
+        }
     print(
         f"latest recorded opt-kernel speedup: {latest:.1f}x vs per-sequence "
         f"python (floor {MIN_OPT_KERNEL_SPEEDUP:.0f}x)"
@@ -273,16 +303,23 @@ def measure_and_record() -> dict:
     return record
 
 
-def check(measured: dict, prior: list) -> int:
+def check(measured: dict, prior: list, gates: dict | None = None) -> int:
     """Apply the two-tier regression rule; return the process exit code."""
     from bench_utils import machine_fingerprint
 
     speedup = measured["speedup"]
     host = measured.get("host", machine_fingerprint())
+    gate: dict = {"speedup": speedup, "host": host, "record": measured}
     failed = False
     same_host = [r["speedup"] for r in prior if r.get("host") == host]
     if same_host:
         floor = (1.0 - SAME_HOST_TOLERANCE) * max(same_host)
+        gate["same_host"] = {
+            "best": max(same_host),
+            "floor": round(floor, 3),
+            "margin": round(speedup - floor, 3),
+            "ok": speedup >= floor,
+        }
         print(
             f"same-host best {max(same_host):.1f}x, floor {floor:.1f}x "
             f"({SAME_HOST_TOLERANCE:.0%} tolerance)"
@@ -302,6 +339,12 @@ def check(measured: dict, prior: list) -> int:
         (1.0 - CROSS_HOST_TOLERANCE) * max(any_host),
         MIN_VECTORIZED_VS_REFERENCE,
     )
+    gate["cross_host"] = {
+        "best": max(any_host),
+        "floor": round(floor, 3),
+        "margin": round(speedup - floor, 3),
+        "ok": speedup >= floor,
+    }
     print(
         f"all-host best {max(any_host):.1f}x, catastrophic floor "
         f"{floor:.1f}x ({CROSS_HOST_TOLERANCE:.0%} tolerance, capped at the "
@@ -313,20 +356,24 @@ def check(measured: dict, prior: list) -> int:
             f"{CROSS_HOST_TOLERANCE:.0%} below the best recorded anywhere"
         )
         failed = True
+    gate["ok"] = not failed
+    if gates is not None:
+        gates["vectorized"] = gate
     if failed:
         return 1
     print("PASS")
     return 0
 
 
-def main(argv=None) -> int:
-    argv = sys.argv[1:] if argv is None else argv
+def _run(argv: list, gates: dict) -> int:
+    """The gate body; text goes to stdout, structured results into ``gates``."""
     try:
         records = vectorized_records()
         opt_records = opt_kernel_records()
         knowledge_records = knowledge_kernel_records()
     except TrajectoryError as error:
         print(f"perf gate error: {error}")
+        gates["trajectory"] = {"ok": False, "error": str(error)}
         return 2
     if not records and "--require-record" in argv:
         # CI mode: the benchmark step that runs immediately before the gate
@@ -339,12 +386,13 @@ def main(argv=None) -> int:
             "PYTHONPATH=src python -m pytest benchmarks -x -q -s, or pass "
             "--measure to let the gate measure and record itself)"
         )
+        gates["vectorized"] = {"ok": False, "error": "missing record"}
         return 2
-    opt_exit = check_opt_kernel(opt_records, "--require-record" in argv)
+    opt_exit = check_opt_kernel(opt_records, "--require-record" in argv, gates)
     if opt_exit:
         return opt_exit
     knowledge_exit = check_knowledge_kernel(
-        knowledge_records, "--require-record" in argv
+        knowledge_records, "--require-record" in argv, gates
     )
     if knowledge_exit:
         return knowledge_exit
@@ -360,8 +408,34 @@ def main(argv=None) -> int:
         )
     if not prior:
         print("no prior vectorized record to compare against; gate passes (bootstrap)")
+        gates["vectorized"] = {
+            "ok": True, "bootstrap": True, "speedup": measured["speedup"],
+        }
         return 0
-    return check(measured, prior)
+    return check(measured, prior, gates)
+
+
+def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    gates: dict = {}
+    if "--json" not in argv:
+        return _run(argv, gates)
+    # --json: machine-readable mode.  The human-readable lines are
+    # swallowed (they narrate the same decisions the structure reports)
+    # and one JSON object with per-gate record/floor/margin goes to
+    # stdout, so CI and `repro bench trajectory` consumers never have to
+    # scrape text.
+    buffer = io.StringIO()
+    with contextlib.redirect_stdout(buffer):
+        code = _run(argv, gates)
+    print(
+        json.dumps(
+            {"ok": code == 0, "exit_code": code, "gates": gates},
+            indent=2,
+            sort_keys=True,
+        )
+    )
+    return code
 
 
 if __name__ == "__main__":

@@ -113,7 +113,7 @@ from .sim import (
     sweep_random_adversary,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.4.0"
 
 from .campaign import (  # noqa: E402  (needs __version__ for store manifests)
     CampaignReport,

@@ -27,11 +27,18 @@ Resume semantics:
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional
 
+from ..obs import (
+    TelemetryWriter,
+    current_collector,
+    latest_cell_records,
+    read_telemetry,
+    telemetry_path_for_store,
+)
+from ..obs import now as _now
 from ..sim.parallel import run_sweep_cells
 from .spec import CampaignCell, CampaignSpec, algorithm_factory_for
 from .store import CampaignStore
@@ -120,32 +127,67 @@ def run_campaign(
     if max_cells is not None and max_cells < 0:
         raise ValueError(f"max_cells must be >= 0, got {max_cells}")
     spec = spec.with_engine(engine, block_size)
-    started = time.perf_counter()
+    started = _now()
     store = CampaignStore(store_dir)
     store.initialize(spec)
+    collector = current_collector()
+    # Telemetry is observe-only: it lands in a sidecar telemetry.jsonl
+    # next to the store, never in shards or the manifest, so traced and
+    # untraced campaigns produce byte-identical stores.
+    telemetry = TelemetryWriter(telemetry_path_for_store(store_dir))
 
-    statuses = store.verify(spec)
-    pending = [s.cell for s in statuses if s.state != "complete"]
-    repaired_keys = {s.cell.key for s in statuses if s.state == "corrupt"}
-    skipped = len(statuses) - len(pending)
-    to_run = pending if max_cells is None else pending[:max_cells]
+    with collector.span(
+        "campaign.run", campaign=spec.name, engine=spec.engine, workers=workers
+    ) as run_span:
+        statuses = store.verify(spec)
+        pending = [s.cell for s in statuses if s.state != "complete"]
+        repaired_keys = {s.cell.key for s in statuses if s.state == "corrupt"}
+        skipped = len(statuses) - len(pending)
+        to_run = pending if max_cells is None else pending[:max_cells]
+        pending_keys = {cell.key for cell in pending}
+        for status in statuses:
+            if status.cell.key not in pending_keys:
+                telemetry.skip(status.cell.key)
+                if collector.enabled:
+                    collector.event(
+                        "campaign.resume_skip", cell=status.cell.key
+                    )
 
-    executed: List[str] = []
-    repaired = 0
-    kwargs = [_cell_kwargs(spec, cell, spec.engine) for cell in to_run]
-    cell_results = run_sweep_cells(kwargs, workers=workers, with_timing=True)
-    for cell, (metrics, elapsed) in zip(to_run, cell_results):
-        fallback_count = sum(
-            1 for trial_metrics in metrics if "engine_fallback" in trial_metrics.extra
+        executed: List[str] = []
+        repaired = 0
+        kwargs = [_cell_kwargs(spec, cell, spec.engine) for cell in to_run]
+        cell_results = run_sweep_cells(kwargs, workers=workers, with_timing=True)
+        for cell, (metrics, elapsed) in zip(to_run, cell_results):
+            fallback_count = sum(
+                1
+                for trial_metrics in metrics
+                if "engine_fallback" in trial_metrics.extra
+            )
+            store.write_cell(
+                cell, metrics, spec.engine, elapsed, fallback_count=fallback_count
+            )
+            telemetry.cell(
+                cell.key,
+                elapsed_seconds=elapsed,
+                trials=len(metrics),
+                fallbacks=fallback_count,
+                engine=spec.engine,
+            )
+            executed.append(cell.key)
+            if cell.key in repaired_keys:
+                repaired += 1
+            if echo is not None:
+                echo(f"  cell {cell.label()} [{cell.key}] checkpointed")
+
+        elapsed_seconds = _now() - started
+        telemetry.run(
+            elapsed_seconds=elapsed_seconds,
+            cells=len(executed),
+            skipped=skipped,
         )
-        store.write_cell(
-            cell, metrics, spec.engine, elapsed, fallback_count=fallback_count
+        run_span.set(
+            cells=len(executed), skipped=skipped, repaired=repaired
         )
-        executed.append(cell.key)
-        if cell.key in repaired_keys:
-            repaired += 1
-        if echo is not None:
-            echo(f"  cell {cell.label()} [{cell.key}] checkpointed")
 
     return CampaignRunSummary(
         campaign=spec.name,
@@ -157,7 +199,7 @@ def run_campaign(
         executed=len(executed),
         repaired=repaired,
         remaining=len(pending) - len(executed),
-        elapsed_seconds=time.perf_counter() - started,
+        elapsed_seconds=elapsed_seconds,
         executed_cells=executed,
     )
 
@@ -178,6 +220,11 @@ def campaign_status(store_dir: "str | Path") -> str:
     spec_echo = dict(manifest.get("spec", {}))
     spec = spec_from_dict(spec_echo)
     statuses = store.verify(spec)
+    # Wall-time / throughput columns come from the observe-only telemetry
+    # sidecar; a store without one (or written before telemetry existed)
+    # renders exactly as before.
+    telemetry = read_telemetry(telemetry_path_for_store(store.directory))
+    timings = latest_cell_records(telemetry)
     by_state: Dict[str, int] = {"complete": 0, "pending": 0, "corrupt": 0}
     lines = [
         f"campaign {manifest.get('campaign')!r} "
@@ -188,12 +235,28 @@ def campaign_status(store_dir: "str | Path") -> str:
     for status in statuses:
         by_state[status.state] = by_state.get(status.state, 0) + 1
         suffix = f" ({status.detail})" if status.detail else ""
+        timing = timings.get(status.cell.key)
+        timing_suffix = ""
+        if timing is not None:
+            elapsed = float(timing.get("elapsed_seconds", 0.0))
+            rate = float(timing.get("trials_per_second", 0.0))
+            timing_suffix = f"  {elapsed:8.2f}s {rate:10.1f} trials/s"
         lines.append(
             f"  [{status.state:8s}] {status.cell.label()} "
-            f"{status.cell.key}{suffix}"
+            f"{status.cell.key}{suffix}{timing_suffix}"
         )
     lines.append(
         f"  complete={by_state['complete']} pending={by_state['pending']} "
         f"corrupt={by_state['corrupt']}"
     )
+    if timings:
+        total_elapsed = sum(
+            float(t.get("elapsed_seconds", 0.0)) for t in timings.values()
+        )
+        total_trials = sum(int(t.get("trials", 0)) for t in timings.values())
+        overall = total_trials / total_elapsed if total_elapsed > 0 else 0.0
+        lines.append(
+            f"  telemetry: {total_elapsed:.2f}s across "
+            f"{len(timings)} timed cells, {overall:.1f} trials/s overall"
+        )
     return "\n".join(lines)

@@ -330,6 +330,54 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write duration-vs-n figures into this directory "
         "(skipped with a note when matplotlib is not installed)",
     )
+
+    trace_parser = subparsers.add_parser(
+        "trace",
+        help="wrap any repro command with span capture and write a "
+        "Chrome-trace (Perfetto) JSON of where the time went",
+        description="Run any repro subcommand under the recording "
+        "collector (docs/observability.md) and export the captured "
+        "engine/sweep/campaign/search spans as Chrome-trace JSON, "
+        "loadable at ui.perfetto.dev or chrome://tracing.  Telemetry is "
+        "observe-only: the wrapped command's results, stores and exit "
+        "code are identical with and without tracing.",
+    )
+    trace_parser.add_argument(
+        "--trace-out",
+        default="trace.json",
+        help="write the Chrome-trace JSON here (default: trace.json)",
+    )
+    trace_parser.add_argument(
+        "wrapped",
+        nargs=argparse.REMAINDER,
+        help="the repro command line to trace, e.g. "
+        "'campaign run examples/campaign_smoke.toml'",
+    )
+
+    bench_parser = subparsers.add_parser(
+        "bench",
+        help="inspect the recorded benchmark trajectory "
+        "(benchmarks/BENCH_*.json)",
+        description="Render the benchmark history the perf gate floors: "
+        "'trajectory' tabulates BENCH_engine.json (per-record engine "
+        "speedups vs the reference) and BENCH_blocksize.json (committed-"
+        "window tuning) so regressions and improvements are visible "
+        "without scraping JSON.",
+    )
+    bench_sub = bench_parser.add_subparsers(dest="bench_command", required=True)
+    bench_trajectory = bench_sub.add_parser(
+        "trajectory",
+        help="tabulate the recorded BENCH_engine / BENCH_blocksize history",
+    )
+    bench_trajectory.add_argument(
+        "--dir",
+        default="benchmarks",
+        help="directory holding BENCH_engine.json / BENCH_blocksize.json "
+        "(default: benchmarks)",
+    )
+    bench_trajectory.add_argument(
+        "--output", default=None, help="write the markdown tables to this file"
+    )
     return parser
 
 
@@ -438,6 +486,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "campaign":
         return _campaign_main(parser, args)
 
+    if args.command == "trace":
+        return _trace_main(parser, args)
+
+    if args.command == "bench":
+        return _bench_main(parser, args)
+
     parser.error(f"unknown command {args.command!r}")
     return 2
 
@@ -526,6 +580,127 @@ def _search_main(parser: argparse.ArgumentParser, args) -> int:
         table.add_note(f"persisted {len(digests)} instance(s) to {args.store}")
     _emit(table.to_markdown(), args.output)
     return 0 if math.isfinite(outcome.best_ratio) else 1
+
+
+def _trace_main(parser: argparse.ArgumentParser, args) -> int:
+    """Dispatch ``trace``: run a wrapped command under span capture.
+
+    The wrapped command runs through :func:`main` recursively with a
+    :class:`~repro.obs.RecordingCollector` installed; its exit code is
+    passed through unchanged and the recording is written as Chrome-trace
+    JSON afterwards.  ``--trace-out`` is accepted on either side of the
+    wrapped command (argparse's REMAINDER captures everything after the
+    first positional, so the flag may land inside ``wrapped``).
+    """
+    from .obs import RecordingCollector, use_collector, write_chrome_trace
+
+    wrapped = list(args.wrapped)
+    trace_out = args.trace_out
+    # Allow `repro trace sweep ... --trace-out f.json`: pull the flag
+    # back out of the remainder if argparse swallowed it.
+    while "--trace-out" in wrapped:
+        position = wrapped.index("--trace-out")
+        if position + 1 >= len(wrapped):
+            parser.error("--trace-out requires a path argument")
+        trace_out = wrapped[position + 1]
+        del wrapped[position : position + 2]
+    if wrapped and wrapped[0] == "--":
+        wrapped = wrapped[1:]
+    if not wrapped:
+        parser.error("trace requires a repro command to wrap")
+    if wrapped[0] == "trace":
+        parser.error("trace cannot wrap itself")
+
+    collector = RecordingCollector()
+    with use_collector(collector):
+        exit_code = main(wrapped)
+    path = write_chrome_trace(collector, trace_out)
+    print(
+        f"trace: {len(collector.spans)} spans, {len(collector.events)} "
+        f"events -> {path} (load at ui.perfetto.dev)",
+        file=sys.stderr,
+    )
+    return exit_code
+
+
+def _bench_main(parser: argparse.ArgumentParser, args) -> int:
+    """Dispatch ``bench trajectory``: tabulate the BENCH_*.json history."""
+    import json
+    from pathlib import Path
+
+    from .sim.results import ResultTable
+
+    if args.bench_command != "trajectory":
+        parser.error(f"unknown bench command {args.bench_command!r}")
+
+    bench_dir = Path(args.dir)
+    sections = []
+
+    engine_path = bench_dir / "BENCH_engine.json"
+    if engine_path.is_file():
+        try:
+            records = json.loads(engine_path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError as error:
+            print(f"bench error: {engine_path}: {error}", file=sys.stderr)
+            return 2
+        table = ResultTable(
+            title="Engine speedup trajectory (BENCH_engine.json)",
+            columns=[
+                "engine", "baseline", "adversary", "n", "trials",
+                "speedup", "seconds", "baseline_seconds", "host",
+            ],
+        )
+        for record in records:
+            table.add_row(
+                engine=record.get("engine"),
+                baseline=record.get("baseline"),
+                adversary=record.get("adversary"),
+                n=record.get("n"),
+                trials=record.get("trials"),
+                speedup=record.get("speedup"),
+                seconds=record.get("seconds"),
+                baseline_seconds=record.get("baseline_seconds"),
+                host=record.get("host"),
+            )
+        sections.append(table.to_markdown())
+
+    blocksize_path = bench_dir / "BENCH_blocksize.json"
+    if blocksize_path.is_file():
+        try:
+            records = json.loads(blocksize_path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError as error:
+            print(f"bench error: {blocksize_path}: {error}", file=sys.stderr)
+            return 2
+        table = ResultTable(
+            title="Committed-window tuning trajectory (BENCH_blocksize.json)",
+            columns=[
+                "n", "trials", "best_block_size", "default_block_size",
+                "best_ms", "default_ms",
+            ],
+        )
+        for record in records:
+            timings = record.get("timings_ms", {})
+            best = record.get("best_block_size")
+            default = record.get("default_block_size")
+            table.add_row(
+                n=record.get("n"),
+                trials=record.get("trials"),
+                best_block_size=best,
+                default_block_size=default,
+                best_ms=timings.get(str(best)),
+                default_ms=timings.get(str(default)),
+            )
+        sections.append(table.to_markdown())
+
+    if not sections:
+        print(
+            f"bench error: no BENCH_engine.json or BENCH_blocksize.json "
+            f"under {bench_dir}",
+            file=sys.stderr,
+        )
+        return 2
+    _emit("\n\n".join(sections), args.output)
+    return 0
 
 
 def _campaign_store_dir(target: str):

@@ -22,6 +22,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Iterable, List, Optional, Protocol, Sequence, Tuple, Union
 
+from ..obs import current_collector
+from ..obs import now as _obs_now
 from .algorithm import DODAAlgorithm
 from .data import AggregationFunction, NodeId, SUM
 from .exceptions import ConfigurationError, ModelViolationError
@@ -224,6 +226,10 @@ class Executor:
             # be evaluated on exactly the realized sequence.
             provider = RecordingProvider(provider)
 
+        collector = current_collector()
+        tracing = collector.enabled
+        run_started = _obs_now() if tracing else 0.0
+
         state = NetworkState(
             self.nodes,
             self.sink,
@@ -255,6 +261,16 @@ class Executor:
                     terminated = True
                     duration = time + 1
             time += 1
+
+        if tracing:
+            collector.add_span(
+                "engine.run",
+                run_started,
+                _obs_now(),
+                engine="reference",
+                interactions=time,
+                transmissions=len(transmissions),
+            )
 
         sink_token = state.token_of(self.sink)
         return ExecutionResult(

@@ -47,6 +47,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Dict, Iterable, List, Optional, Set, Union
 
+from ..obs import current_collector
 from .algorithm import DODAAlgorithm
 from .data import AggregationFunction, NodeId, SUM
 from .exceptions import ConfigurationError, ModelViolationError
@@ -256,8 +257,16 @@ class FastExecutor:
         per trial with fresh executors — the batched sweep runner in
         :mod:`repro.sim.batch` differentially tests exactly that.
         """
+        batch = list(trials)
+        collector = current_collector()
+        with collector.span(
+            "engine.run_many", engine="fast", trials=len(batch)
+        ):
+            return self._run_batch(batch)
+
+    def _run_batch(self, batch: List[BatchTrial]) -> List[ExecutionResult]:
         results: List[ExecutionResult] = []
-        for trial in trials:
+        for trial in batch:
             algorithm = (
                 trial.algorithm if trial.algorithm is not None else self.algorithm
             )

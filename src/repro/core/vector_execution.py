@@ -56,6 +56,8 @@ from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
 import numpy as np
 
 from ..adversaries.committed import CommittedBlockAdversary
+from ..obs import current_collector
+from ..obs import now as _now
 from ..algorithms.kernels import (
     FIRST_RECEIVES,
     KernelUnsupported,
@@ -259,6 +261,17 @@ class VectorizedExecutor:
         reference engine), so the returned list is uniformly exact.
         """
         batch = list(trials)
+        collector = current_collector()
+        with collector.span(
+            "engine.run_many", engine="vectorized", trials=len(batch)
+        ) as span:
+            results = self._run_batch(batch, collector)
+            span.set(fallbacks=len(self.last_fallbacks))
+            return results
+
+    def _run_batch(
+        self, batch: List[BatchTrial], collector: Any
+    ) -> List[ExecutionResult]:
         self.last_fallbacks = ()
         results: List[Optional[ExecutionResult]] = [None] * len(batch)
         effective = [
@@ -311,6 +324,14 @@ class VectorizedExecutor:
                     EngineFallback(position=position, reason=prepared)
                 )
         self.last_fallbacks = tuple(fallbacks)
+        if collector.enabled:
+            for record in fallbacks:
+                collector.event(
+                    "engine.fallback",
+                    engine="vectorized",
+                    position=record.position,
+                    reason=record.reason,
+                )
         if fallback:
             engine = FastExecutor(
                 self.nodes,
@@ -432,6 +453,12 @@ class VectorizedExecutor:
     # ------------------------------------------------------------------ #
     def _run_lockstep(self, kernel_trials: List[_KernelTrial]):
         """The struct-of-arrays hot loop over all kernel-routed trials."""
+        collector = current_collector()
+        tracing = collector.enabled
+        lockstep_start = _now() if tracing else 0.0
+        draw_seconds = 0.0
+        draw_blocks = 0
+        candidates_walked = 0
         batch_size = len(kernel_trials)
         n = len(self.nodes)
         nodes = self.nodes
@@ -464,6 +491,8 @@ class VectorizedExecutor:
             # Padding with 0 (a always-valid dense index) lets the ownership
             # gather run without a sanitising pass; ``lengths`` masks the
             # padding out of the candidate set.
+            if tracing:
+                draw_started = _now()
             matrix_i, matrix_j, lengths = (
                 CommittedBlockAdversary.committed_index_matrix(
                     [kernel_trials[b].fetcher for b in active],
@@ -472,6 +501,9 @@ class VectorizedExecutor:
                     pad=0,
                 )
             )
+            if tracing:
+                draw_seconds += _now() - draw_started
+                draw_blocks += 1
             width = matrix_i.shape[1]
             dense_rows = [
                 row
@@ -531,6 +563,8 @@ class VectorizedExecutor:
                             first = np.where(swap, iv, iu)
                             second = np.where(swap, iu, iv)
                     if candidates.size:
+                        if tracing:
+                            candidates_walked += int(candidates.size)
                         terminated_at = self._consume_row(
                             trial,
                             b,
@@ -560,6 +594,26 @@ class VectorizedExecutor:
             active = still_active
             cursor += window
             window = min(window * 2, self.block_size)
+
+        if tracing:
+            lockstep_end = _now()
+            collector.add_span(
+                "engine.lockstep",
+                lockstep_start,
+                lockstep_end,
+                engine="vectorized",
+                trials=batch_size,
+                blocks=draw_blocks,
+                candidates_walked=candidates_walked,
+            )
+            collector.add_span(
+                "engine.committed_draws",
+                lockstep_start,
+                lockstep_start + draw_seconds,
+                engine="vectorized",
+                blocks=draw_blocks,
+            )
+            collector.counter("engine.candidates_walked", candidates_walked)
 
         opt_costs: List[Optional[float]] = [None] * batch_size
         if self.capture_opt and batch_size:

@@ -305,9 +305,8 @@ def run_vectorized_engine_check(
     only* — speedups are hardware-dependent and tracked by the benchmark
     trajectory (``benchmarks/BENCH_engine.json``) instead.
     """
-    import time as _time
-
     from ..algorithms.waiting_greedy import optimal_tau
+    from ..obs import now as _obs_now
     from ..sim.batch import sweep_adversary_batched
     from ..sim.runner import sweep_random_adversary
 
@@ -331,20 +330,20 @@ def run_vectorized_engine_check(
     speedups: Dict[str, float] = {}
     for adversary in adversaries:
         for name, factory in factories.items():
-            started = _time.perf_counter()
+            started = _obs_now()
             reference = sweep_random_adversary(
                 factory, ns=[n], trials=trials, master_seed=master_seed,
                 experiment="vector_check", engine="reference",
                 adversary=adversary,
             )
-            reference_seconds = _time.perf_counter() - started
-            started = _time.perf_counter()
+            reference_seconds = _obs_now() - started
+            started = _obs_now()
             vectorized = sweep_adversary_batched(
                 factory, ns=[n], trials=trials, master_seed=master_seed,
                 experiment="vector_check", engine=candidate_engine,
                 adversary=adversary,
             )
-            engine_seconds = _time.perf_counter() - started
+            engine_seconds = _obs_now() - started
             identical = (
                 vectorized.points[0].trials == reference.points[0].trials
             )

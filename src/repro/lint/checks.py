@@ -282,11 +282,25 @@ class RngConstructionRule(_NumpyRandomAttrMixin):
 # --------------------------------------------------------------------- #
 # Clock discipline
 # --------------------------------------------------------------------- #
-#: Wall-clock reads on the ``time`` module.  ``perf_counter``/``monotonic``
-#: are deliberately absent: they only ever feed elapsed-seconds telemetry,
-#: which the store keeps out of result bytes by construction.
+#: Clock reads on the ``time`` module.  ``perf_counter``/``monotonic`` are
+#: banned too: every timing measurement must go through
+#: :func:`repro.obs.now` so elapsed-seconds telemetry stays confined to
+#: the observability layer (``src/repro/obs/*`` is the only allowlisted
+#: home for these calls — see docs/observability.md).
 _TIME_BANNED = frozenset(
-    {"time", "time_ns", "ctime", "localtime", "gmtime", "asctime", "strftime"}
+    {
+        "time",
+        "time_ns",
+        "ctime",
+        "localtime",
+        "gmtime",
+        "asctime",
+        "strftime",
+        "perf_counter",
+        "perf_counter_ns",
+        "monotonic",
+        "monotonic_ns",
+    }
 )
 #: Wall-clock constructors on ``datetime``/``date`` classes.
 _DATETIME_BANNED = frozenset({"now", "utcnow", "today"})
@@ -294,20 +308,24 @@ _DATETIME_BANNED = frozenset({"now", "utcnow", "today"})
 
 @register
 class WallClockRule(Rule):
-    """RPL004: wall-clock reads are banned in result-determining modules.
+    """RPL004: clock reads are banned in result-determining modules.
 
     A timestamp that reaches a result file breaks fresh ≡ resumed
-    byte-identity.  The one legitimate consumer — manifest bookkeeping in
-    ``campaign/store.py``, whose fields the equality checks deliberately
-    ignore — is allowlisted in pyproject.
+    byte-identity, and ad-hoc ``perf_counter`` timing scattered through
+    the codebase is how telemetry leaks toward results.  The legitimate
+    consumers — manifest bookkeeping in ``campaign/store.py`` (fields the
+    equality checks deliberately ignore) and the observability layer
+    ``repro.obs`` (all timing flows through :func:`repro.obs.now`) — are
+    allowlisted in pyproject.
     """
 
     code = "RPL004"
     name = "wall-clock"
-    summary = "time.time()/datetime.now()-style wall-clock read"
+    summary = "time.time()/perf_counter()/datetime.now()-style clock read"
     rationale = (
-        "timestamps in result-determining code break fresh-vs-resumed "
-        "byte-identity; keep them in allowlisted manifest bookkeeping"
+        "clock reads in result-determining code break fresh-vs-resumed "
+        "byte-identity; route timing through repro.obs and keep "
+        "timestamps in allowlisted manifest bookkeeping"
     )
 
     def check(self, ctx: ModuleContext) -> Iterator[Finding]:

@@ -66,8 +66,10 @@ DEFAULT_ALLOW: Mapping[str, Tuple[str, ...]] = {
         "src/repro/adversaries/mobility.py",
         "src/repro/search/loop.py",
     ),
-    # Manifest bookkeeping timestamps (deliberately outside result bytes).
-    "RPL004": ("src/repro/campaign/store.py",),
+    # Manifest bookkeeping timestamps (deliberately outside result bytes)
+    # and the observability layer (the one sanctioned home for
+    # perf_counter/monotonic — everything else uses repro.obs.now).
+    "RPL004": ("src/repro/campaign/store.py", "src/repro/obs/*"),
     # The sentinel owner modules themselves.
     "RPL005": (
         "src/repro/offline/convergecast.py",

@@ -1,0 +1,68 @@
+"""Observability: hierarchical spans, counters, and run telemetry.
+
+``repro.obs`` is the measurement substrate for every layer above it:
+engines emit spans around committed-draw generation and kernel blocks,
+sweeps and the campaign runner wrap cells, the fork-pool merges
+per-worker collectors into the parent, and the search loop reports
+per-generation progress.  A pluggable :class:`Collector` makes all of
+it opt-in: the default :data:`NOOP` collector reduces every
+instrumentation site to a single attribute check, the
+:class:`RecordingCollector` captures spans/counters/events in memory,
+and :mod:`repro.obs.chrome` exports recordings as Chrome-trace
+(Perfetto ``traceEvents``) JSON.
+
+Invariant: telemetry is never result-determining.  Collectors observe
+wall-clock time and counters but cannot influence seeds, draws,
+metrics, or store bytes; campaign telemetry lands in a *sidecar*
+``telemetry.jsonl`` (:mod:`repro.obs.sidecar`) next to the store so
+content-addressed shards and manifests stay byte-identical whether or
+not tracing is enabled.  This module is the only place in ``src/``
+where ``time.perf_counter``/``time.monotonic`` may be called —
+reprolint's RPL004 enforces that confinement.
+"""
+
+from .collector import (
+    Collector,
+    CollectorSnapshot,
+    CounterRecord,
+    EventRecord,
+    NoopCollector,
+    NOOP,
+    RecordingCollector,
+    SpanHandle,
+    SpanRecord,
+    current_collector,
+    now,
+    use_collector,
+)
+from .chrome import to_chrome_trace, validate_chrome_trace, write_chrome_trace
+from .sidecar import (
+    TelemetryWriter,
+    latest_cell_records,
+    read_telemetry,
+    summarize_run,
+    telemetry_path_for_store,
+)
+
+__all__ = [
+    "Collector",
+    "CollectorSnapshot",
+    "CounterRecord",
+    "EventRecord",
+    "NoopCollector",
+    "NOOP",
+    "RecordingCollector",
+    "SpanHandle",
+    "SpanRecord",
+    "current_collector",
+    "now",
+    "use_collector",
+    "to_chrome_trace",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+    "TelemetryWriter",
+    "latest_cell_records",
+    "read_telemetry",
+    "summarize_run",
+    "telemetry_path_for_store",
+]

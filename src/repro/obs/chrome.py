@@ -1,0 +1,130 @@
+"""Chrome-trace (Perfetto ``traceEvents``) export and validation.
+
+Converts a :class:`~repro.obs.collector.RecordingCollector` (or a
+snapshot) into the Trace Event JSON format that ``ui.perfetto.dev`` and
+``chrome://tracing`` load directly: spans become complete (``"X"``)
+events with microsecond ``ts``/``dur``, counters become ``"C"`` series,
+and instant events become ``"i"`` marks.  ``validate_chrome_trace``
+re-checks the schema (used by CI on the traced campaign smoke), so an
+exporter regression fails the pipeline rather than producing a file
+Perfetto silently refuses.
+
+Invariant: export is read-only — it serializes what a collector already
+recorded and never feeds anything back into the run.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Union
+
+from .collector import CollectorSnapshot, RecordingCollector
+
+_US = 1_000_000.0
+
+Recording = Union[RecordingCollector, CollectorSnapshot]
+
+
+def _records(recording: Recording) -> CollectorSnapshot:
+    if isinstance(recording, RecordingCollector):
+        return recording.snapshot()
+    return recording
+
+
+def to_chrome_trace(recording: Recording) -> Dict[str, Any]:
+    """Render a recording as a ``{"traceEvents": [...]}`` payload."""
+
+    snapshot = _records(recording)
+    events: List[Dict[str, Any]] = []
+    for span in sorted(snapshot.spans, key=lambda s: (s.start, s.name)):
+        events.append(
+            {
+                "name": span.name,
+                "ph": "X",
+                "cat": span.name.split(".", 1)[0],
+                "ts": span.start * _US,
+                "dur": max(span.end - span.start, 0.0) * _US,
+                "pid": span.pid,
+                "tid": span.tid,
+                "args": dict(span.args),
+            }
+        )
+    for counter in snapshot.counters:
+        events.append(
+            {
+                "name": counter.name,
+                "ph": "C",
+                "cat": counter.name.split(".", 1)[0],
+                "ts": counter.ts * _US,
+                "pid": counter.pid,
+                "tid": counter.tid,
+                "args": {"value": counter.value},
+            }
+        )
+    for event in snapshot.events:
+        events.append(
+            {
+                "name": event.name,
+                "ph": "i",
+                "s": "t",
+                "cat": event.name.split(".", 1)[0],
+                "ts": event.ts * _US,
+                "pid": event.pid,
+                "tid": event.tid,
+                "args": dict(event.args),
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(recording: Recording, path: Union[str, Path]) -> Path:
+    """Serialize a recording to ``path`` as Chrome-trace JSON."""
+
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(
+        json.dumps(to_chrome_trace(recording), indent=None, sort_keys=True),
+        encoding="utf-8",
+    )
+    return target
+
+
+_VALID_PHASES = {"X", "C", "i"}
+
+
+def validate_chrome_trace(
+    payload: Dict[str, Any], require_spans: bool = True
+) -> List[str]:
+    """Return schema problems in a trace payload (empty list == valid)."""
+
+    problems: List[str] = []
+    events = payload.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents missing or not a list"]
+    span_count = 0
+    for index, event in enumerate(events):
+        if not isinstance(event, dict):
+            problems.append(f"event {index}: not an object")
+            continue
+        phase = event.get("ph")
+        if phase not in _VALID_PHASES:
+            problems.append(f"event {index}: unknown phase {phase!r}")
+            continue
+        for key in ("name", "ts", "pid", "tid"):
+            if key not in event:
+                problems.append(f"event {index}: missing {key!r}")
+        if not isinstance(event.get("name"), str):
+            problems.append(f"event {index}: name is not a string")
+        if phase == "X":
+            span_count += 1
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(f"event {index}: bad dur {dur!r}")
+        if phase == "C":
+            args = event.get("args")
+            if not isinstance(args, dict) or not args:
+                problems.append(f"event {index}: counter without args")
+    if require_spans and span_count == 0:
+        problems.append("trace contains no spans")
+    return problems

@@ -1,0 +1,258 @@
+"""Collector protocol, the no-op default, and the in-memory recorder.
+
+The hot-path contract is the invariant this module exists to protect:
+instrumented code fetches the current collector once per run, checks its
+``enabled`` flag, and only pays for telemetry when a recording collector
+is installed.  With the default :data:`NOOP` collector every ``span()``
+call returns one shared null handle and every ``counter()``/``event()``
+call is a constant-time no-op, so instrumentation never spends the
+recorded engine speedups (``benchmarks/test_bench_obs.py`` gates this).
+
+``RecordingCollector`` snapshots are plain picklable dataclasses so the
+fork-pool can ship per-worker recordings back to the parent and
+``merge()`` them into one trace.  ``time.perf_counter`` is
+``CLOCK_MONOTONIC`` on Linux and therefore comparable across forked
+processes, which is what makes cross-process span timelines line up.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from types import TracebackType
+from typing import Dict, Iterator, List, Optional, Tuple, Type, Union
+
+ArgValue = Union[str, int, float, bool, None]
+
+
+def now() -> float:
+    """Monotonic timestamp in seconds (the only sanctioned timing call).
+
+    Every timing measurement in ``src/`` goes through this helper so the
+    reprolint RPL004 allowlist for ``time.perf_counter`` can stay
+    confined to ``repro.obs``.
+    """
+
+    return time.perf_counter()  # reprolint: disable=RPL004
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One completed span: a named interval with structured arguments."""
+
+    name: str
+    start: float
+    end: float
+    pid: int
+    tid: int
+    args: Tuple[Tuple[str, ArgValue], ...] = ()
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass(frozen=True)
+class CounterRecord:
+    """A sampled numeric series point (Chrome-trace ``C`` phase)."""
+
+    name: str
+    ts: float
+    value: float
+    pid: int
+    tid: int
+
+
+@dataclass(frozen=True)
+class EventRecord:
+    """An instant event (Chrome-trace ``i`` phase), e.g. an engine fallback."""
+
+    name: str
+    ts: float
+    pid: int
+    tid: int
+    args: Tuple[Tuple[str, ArgValue], ...] = ()
+
+
+@dataclass
+class CollectorSnapshot:
+    """Picklable dump of a recording: shipped from fork workers to parent."""
+
+    spans: List[SpanRecord] = field(default_factory=list)
+    counters: List[CounterRecord] = field(default_factory=list)
+    events: List[EventRecord] = field(default_factory=list)
+
+
+def _freeze_args(args: Dict[str, ArgValue]) -> Tuple[Tuple[str, ArgValue], ...]:
+    return tuple(sorted(args.items()))
+
+
+class _NullSpan:
+    """The shared do-nothing span handle returned while tracing is off."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(
+        self,
+        exc_type: Optional[Type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> None:
+        return None
+
+    def set(self, **args: ArgValue) -> None:
+        """Ignore late-bound span arguments."""
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _LiveSpan:
+    """An open span on a :class:`RecordingCollector`; closes on ``__exit__``."""
+
+    __slots__ = ("_collector", "_name", "_start", "_args")
+
+    def __init__(
+        self, collector: "RecordingCollector", name: str, args: Dict[str, ArgValue]
+    ) -> None:
+        self._collector = collector
+        self._name = name
+        self._args = args
+        self._start = now()
+
+    def __enter__(self) -> "_LiveSpan":
+        return self
+
+    def __exit__(
+        self,
+        exc_type: Optional[Type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> None:
+        self._collector.add_span(self._name, self._start, now(), **self._args)
+        return None
+
+    def set(self, **args: ArgValue) -> None:
+        """Attach arguments discovered while the span was running."""
+
+        self._args.update(args)
+
+
+SpanHandle = Union[_NullSpan, _LiveSpan]
+
+
+class NoopCollector:
+    """Default collector: disabled, constant-time, allocation-free."""
+
+    enabled: bool = False
+
+    def span(self, name: str, **args: ArgValue) -> SpanHandle:
+        return _NULL_SPAN
+
+    def counter(self, name: str, value: float) -> None:
+        return None
+
+    def event(self, name: str, **args: ArgValue) -> None:
+        return None
+
+    def add_span(
+        self, name: str, start: float, end: float, **args: ArgValue
+    ) -> None:
+        return None
+
+
+class RecordingCollector(NoopCollector):
+    """In-memory collector capturing spans, counters, and instant events."""
+
+    enabled: bool = True
+
+    def __init__(self) -> None:
+        self._pid = os.getpid()
+        self._spans: List[SpanRecord] = []
+        self._counters: List[CounterRecord] = []
+        self._events: List[EventRecord] = []
+
+    def _ids(self) -> Tuple[int, int]:
+        # Re-read the pid so a collector inherited through fork() records
+        # under the worker's pid, not the parent's.
+        return os.getpid(), threading.get_ident()
+
+    def span(self, name: str, **args: ArgValue) -> SpanHandle:
+        return _LiveSpan(self, name, dict(args))
+
+    def counter(self, name: str, value: float) -> None:
+        pid, tid = self._ids()
+        self._counters.append(CounterRecord(name, now(), float(value), pid, tid))
+
+    def event(self, name: str, **args: ArgValue) -> None:
+        pid, tid = self._ids()
+        self._events.append(EventRecord(name, now(), pid, tid, _freeze_args(args)))
+
+    def add_span(
+        self, name: str, start: float, end: float, **args: ArgValue
+    ) -> None:
+        """Record a pre-measured interval (for phases timed out-of-band)."""
+
+        pid, tid = self._ids()
+        self._spans.append(
+            SpanRecord(name, start, end, pid, tid, _freeze_args(args))
+        )
+
+    @property
+    def spans(self) -> Tuple[SpanRecord, ...]:
+        return tuple(self._spans)
+
+    @property
+    def counters(self) -> Tuple[CounterRecord, ...]:
+        return tuple(self._counters)
+
+    @property
+    def events(self) -> Tuple[EventRecord, ...]:
+        return tuple(self._events)
+
+    def snapshot(self) -> CollectorSnapshot:
+        """Dump the recording as a picklable value (worker → parent)."""
+
+        return CollectorSnapshot(
+            spans=list(self._spans),
+            counters=list(self._counters),
+            events=list(self._events),
+        )
+
+    def merge(self, snapshot: CollectorSnapshot) -> None:
+        """Fold a worker snapshot into this collector's timeline."""
+
+        self._spans.extend(snapshot.spans)
+        self._counters.extend(snapshot.counters)
+        self._events.extend(snapshot.events)
+
+
+Collector = NoopCollector
+"""Alias: any collector is substitutable for the no-op base."""
+
+NOOP = NoopCollector()
+
+_ACTIVE: List[NoopCollector] = [NOOP]
+
+
+def current_collector() -> NoopCollector:
+    """Return the collector instrumented code should emit to."""
+
+    return _ACTIVE[-1]
+
+
+@contextmanager
+def use_collector(collector: NoopCollector) -> Iterator[NoopCollector]:
+    """Install ``collector`` as current for the duration of the block."""
+
+    _ACTIVE.append(collector)
+    try:
+        yield collector
+    finally:
+        _ACTIVE.pop()

@@ -1,0 +1,136 @@
+"""Telemetry sidecar: append-only ``telemetry.jsonl`` next to a store.
+
+The campaign store's shards and manifest are content-addressed and must
+stay byte-identical across fresh and resumed runs — so anything
+wall-clock-flavoured (per-cell elapsed seconds, trials/sec, resume
+skips) is written *here*, to a sibling ``telemetry.jsonl`` the store
+never reads.  Each line is one JSON object with a ``type`` field:
+
+- ``{"type": "cell", "cell": key, "elapsed_seconds": s,
+  "trials": t, "trials_per_second": r, "fallbacks": f, "engine": e,
+  "ts": epoch}`` — one executed cell;
+- ``{"type": "skip", "cell": key, "ts": epoch}`` — a cell skipped on
+  resume because the manifest already holds it;
+- ``{"type": "run", "elapsed_seconds": s, "cells": c, "skipped": k,
+  "ts": epoch}`` — a completed ``campaign run`` invocation.
+
+Invariant: the sidecar is observe-only.  Deleting it never changes what
+a resumed campaign computes, and two runs that differ only in telemetry
+produce byte-identical shards and manifests (tested in
+``tests/test_obs.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+TELEMETRY_FILENAME = "telemetry.jsonl"
+
+
+def telemetry_path_for_store(store_dir: Union[str, Path]) -> Path:
+    """Sidecar location for a campaign store directory."""
+
+    return Path(store_dir) / TELEMETRY_FILENAME
+
+
+class TelemetryWriter:
+    """Append-only writer for the telemetry sidecar."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+
+    def _append(self, record: Dict[str, Any]) -> None:
+        record.setdefault("ts", time.time())  # reprolint: disable=RPL004
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a", encoding="utf-8") as handle:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+
+    def cell(
+        self,
+        cell: str,
+        *,
+        elapsed_seconds: float,
+        trials: int,
+        fallbacks: int,
+        engine: str,
+    ) -> None:
+        """Record one executed campaign cell."""
+
+        rate = trials / elapsed_seconds if elapsed_seconds > 0 else 0.0
+        self._append(
+            {
+                "type": "cell",
+                "cell": cell,
+                "elapsed_seconds": elapsed_seconds,
+                "trials": trials,
+                "trials_per_second": rate,
+                "fallbacks": fallbacks,
+                "engine": engine,
+            }
+        )
+
+    def skip(self, cell: str) -> None:
+        """Record a cell skipped on resume (already in the manifest)."""
+
+        self._append({"type": "skip", "cell": cell})
+
+    def run(
+        self, *, elapsed_seconds: float, cells: int, skipped: int
+    ) -> None:
+        """Record a completed ``campaign run`` invocation."""
+
+        self._append(
+            {
+                "type": "run",
+                "elapsed_seconds": elapsed_seconds,
+                "cells": cells,
+                "skipped": skipped,
+            }
+        )
+
+
+def read_telemetry(path: Union[str, Path]) -> List[Dict[str, Any]]:
+    """Load sidecar records; missing file reads as no telemetry."""
+
+    target = Path(path)
+    if not target.is_file():
+        return []
+    records: List[Dict[str, Any]] = []
+    for line in target.read_text(encoding="utf-8").splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            loaded = json.loads(line)
+        except json.JSONDecodeError:
+            continue  # a torn tail line from an interrupted run is fine
+        if isinstance(loaded, dict):
+            records.append(loaded)
+    return records
+
+
+def latest_cell_records(
+    records: List[Dict[str, Any]],
+) -> Dict[str, Dict[str, Any]]:
+    """Index ``cell`` records by cell key, keeping the most recent."""
+
+    latest: Dict[str, Dict[str, Any]] = {}
+    for record in records:
+        if record.get("type") != "cell":
+            continue
+        cell = record.get("cell")
+        if isinstance(cell, str):
+            latest[cell] = record
+    return latest
+
+
+def summarize_run(
+    records: List[Dict[str, Any]],
+) -> Optional[Dict[str, Any]]:
+    """Return the most recent ``run`` record, if any."""
+
+    runs = [r for r in records if r.get("type") == "run"]
+    return runs[-1] if runs else None

@@ -39,6 +39,8 @@ from ..adversaries.mobility import TraceReplayAdversary
 from ..campaign.spec import algorithm_factory_for
 from ..core.data import NodeId
 from ..core.fast_execution import BatchTrial
+from ..obs import current_collector
+from ..obs import now as _obs_now
 from ..sim.metrics import TrialMetrics
 from ..sim.runner import (
     build_knowledge_for_random_run,
@@ -323,6 +325,10 @@ def run_search(config: SearchConfig) -> SearchOutcome:
         )
         for base_seed in base_seeds
     ]
+    collector = current_collector()
+    tracing = collector.enabled
+    search_started = _obs_now() if tracing else 0.0
+
     metrics = score_schedules(config, schedules, base_seeds)
     candidates = [
         SearchCandidate(schedule=s, base_seed=seed, lineage=(), metrics=m)
@@ -331,8 +337,17 @@ def run_search(config: SearchConfig) -> SearchOutcome:
     evaluations = initial
     pool = _select_pool(candidates, config.pool_size)
     history = [pool[0].score]
+    generation = 0
+    if tracing:
+        collector.event(
+            "search.generation",
+            generation=generation,
+            evaluations=evaluations,
+            best=float(pool[0].score),
+        )
 
     while evaluations < config.budget:
+        generation_started = _obs_now() if tracing else 0.0
         count = min(config.generation_size, config.budget - evaluations)
         children: List[Tuple[Schedule, int, Tuple[MutationRecord, ...]]] = []
         for _ in range(count):
@@ -371,6 +386,34 @@ def run_search(config: SearchConfig) -> SearchOutcome:
         ]
         pool = _select_pool(candidates, config.pool_size)
         history.append(pool[0].score)
+        generation += 1
+        if tracing:
+            generation_end = _obs_now()
+            generation_seconds = generation_end - generation_started
+            collector.add_span(
+                "search.generation",
+                generation_started,
+                generation_end,
+                generation=generation,
+                evaluations=count,
+                best=float(pool[0].score),
+                evals_per_second=(
+                    count / generation_seconds if generation_seconds > 0 else 0.0
+                ),
+            )
+
+    if tracing:
+        collector.add_span(
+            "search.run",
+            search_started,
+            _obs_now(),
+            algorithm=config.algorithm,
+            family=config.family,
+            n=config.n,
+            evaluations=evaluations,
+            generations=generation,
+            best=float(pool[0].score),
+        )
 
     return SearchOutcome(
         config=config,

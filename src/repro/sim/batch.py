@@ -35,6 +35,7 @@ from ..core.algorithm import DODAAlgorithm
 from ..core.data import NodeId
 from ..core.fast_execution import BatchTrial, FastExecutor
 from ..core.vector_execution import EngineFallback, EngineFallbackWarning
+from ..obs import current_collector
 from .metrics import TrialMetrics
 from .runner import (
     AlgorithmFactory,
@@ -96,6 +97,42 @@ def run_sweep_cell(
     nodes = list(range(n))
     if sink not in nodes:
         raise ValueError("sink must be one of the nodes 0..n-1")
+    collector = current_collector()
+    with collector.span(
+        "sweep.cell", engine=engine, adversary=adversary, n=n, trials=trials
+    ) as cell_span:
+        metrics = _run_cell(
+            algorithm_factory, n, trials, master_seed, experiment,
+            horizon_fn, sink, engine, adversary, adversary_params,
+            block_size, capture_opt, executor_cls,
+        )
+        if collector.enabled:
+            cell_span.set(
+                algorithm=metrics[0].algorithm if metrics else "",
+                fallbacks=sum(
+                    1 for m in metrics if "engine_fallback" in m.extra
+                ),
+            )
+        return metrics
+
+
+def _run_cell(
+    algorithm_factory: AlgorithmFactory,
+    n: int,
+    trials: int,
+    master_seed: int,
+    experiment: str,
+    horizon_fn: Optional[Callable[[DODAAlgorithm, int], int]],
+    sink: NodeId,
+    engine: str,
+    adversary: str,
+    adversary_params: Optional[Dict[str, Any]],
+    block_size: Optional[int],
+    capture_opt: bool,
+    executor_cls: Any,
+) -> List[TrialMetrics]:
+    """The cell body of :func:`run_sweep_cell` (span handled by the wrapper)."""
+    nodes = list(range(n))
 
     def prepare(trial: int):
         """One trial's engine inputs, derived exactly like run_sweep_trial."""

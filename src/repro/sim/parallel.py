@@ -37,6 +37,13 @@ from typing import Callable, Iterator, List, Optional, Sequence, Tuple
 
 from ..core.algorithm import DODAAlgorithm
 from ..core.data import NodeId
+from ..obs import (
+    CollectorSnapshot,
+    RecordingCollector,
+    current_collector,
+    use_collector,
+)
+from ..obs import now as _now
 from .metrics import TrialMetrics
 from .runner import (
     AlgorithmFactory,
@@ -60,43 +67,84 @@ def _init_worker(config: dict) -> None:
     _WORKER_CONFIG.update(config)
 
 
-def _run_task(task: Tuple[int, int]) -> TrialMetrics:
+def _with_worker_collector(fn: Callable[[], object]):
+    """Run ``fn`` under a fresh recording collector when tracing is on.
+
+    Forked workers inherit the parent's collector object, but recordings
+    made into it die with the child process — so when the inherited
+    collector is enabled, the worker records into a fresh
+    :class:`~repro.obs.RecordingCollector` and ships the picklable
+    snapshot back for the parent to merge.  Returns ``(result,
+    snapshot_or_None)``.
+    """
+    if not current_collector().enabled:
+        return fn(), None
+    worker_collector = RecordingCollector()
+    with use_collector(worker_collector):
+        result = fn()
+    return result, worker_collector.snapshot()
+
+
+def _merge_snapshots(
+    snapshots: Sequence[Optional[CollectorSnapshot]],
+) -> None:
+    """Fold worker trace snapshots into the parent's collector, if any."""
+    collector = current_collector()
+    if not collector.enabled:
+        return
+    merge = getattr(collector, "merge", None)
+    if merge is None:
+        return
+    for snapshot in snapshots:
+        if snapshot is not None:
+            merge(snapshot)
+
+
+def _run_task(
+    task: Tuple[int, int]
+) -> Tuple[TrialMetrics, Optional[CollectorSnapshot]]:
     """Run one ``(n, trial)`` grid cell inside a worker process."""
     n, trial = task
     config = _WORKER_CONFIG
-    return run_sweep_trial(
-        config["factory"],
-        n,
-        trial,
-        master_seed=config["master_seed"],
-        experiment=config["experiment"],
-        horizon_fn=config["horizon_fn"],
-        sink=config["sink"],
-        engine=config["engine"],
-        adversary=config["adversary"],
-        adversary_params=config["adversary_params"],
-        capture_opt=config["capture_opt"],
+    return _with_worker_collector(
+        lambda: run_sweep_trial(
+            config["factory"],
+            n,
+            trial,
+            master_seed=config["master_seed"],
+            experiment=config["experiment"],
+            horizon_fn=config["horizon_fn"],
+            sink=config["sink"],
+            engine=config["engine"],
+            adversary=config["adversary"],
+            adversary_params=config["adversary_params"],
+            capture_opt=config["capture_opt"],
+        )
     )
 
 
-def _run_cell_task(n: int) -> List[TrialMetrics]:
+def _run_cell_task(
+    n: int,
+) -> Tuple[List[TrialMetrics], Optional[CollectorSnapshot]]:
     """Run one whole sweep cell (all trials of one ``n``) inside a worker."""
     from .batch import run_sweep_cell
 
     config = _WORKER_CONFIG
-    return run_sweep_cell(
-        config["factory"],
-        n,
-        config["trials"],
-        master_seed=config["master_seed"],
-        experiment=config["experiment"],
-        horizon_fn=config["horizon_fn"],
-        sink=config["sink"],
-        engine=config["engine"],
-        adversary=config["adversary"],
-        adversary_params=config["adversary_params"],
-        block_size=config["block_size"],
-        capture_opt=config["capture_opt"],
+    return _with_worker_collector(
+        lambda: run_sweep_cell(
+            config["factory"],
+            n,
+            config["trials"],
+            master_seed=config["master_seed"],
+            experiment=config["experiment"],
+            horizon_fn=config["horizon_fn"],
+            sink=config["sink"],
+            engine=config["engine"],
+            adversary=config["adversary"],
+            adversary_params=config["adversary_params"],
+            block_size=config["block_size"],
+            capture_opt=config["capture_opt"],
+        )
     )
 
 
@@ -108,21 +156,25 @@ def _fork_context() -> Optional[multiprocessing.context.BaseContext]:
         return None
 
 
-def _run_hetero_cell_task(index: int) -> Tuple[List[TrialMetrics], float]:
+def _run_hetero_cell_task(
+    index: int,
+) -> Tuple[List[TrialMetrics], float, Optional[CollectorSnapshot]]:
     """Run one heterogeneous cell (by task index) inside a worker process.
 
-    Returns ``(metrics, elapsed_seconds)``; the elapsed time is measured
-    around the cell's own execution, so it stays accurate when several
-    cells run concurrently.
+    Returns ``(metrics, elapsed_seconds, trace_snapshot)``; the elapsed
+    time is measured around the cell's own execution, so it stays accurate
+    when several cells run concurrently, and the snapshot carries the
+    worker's spans back to the parent collector (None when tracing is
+    off).
     """
-    import time
-
     from .batch import run_sweep_cell
 
     kwargs = _WORKER_CONFIG["cells"][index]
-    start = time.perf_counter()
-    metrics = run_sweep_cell(**kwargs)
-    return metrics, time.perf_counter() - start
+    start = _now()
+    (metrics, snapshot) = _with_worker_collector(
+        lambda: run_sweep_cell(**kwargs)
+    )
+    return metrics, _now() - start, snapshot
 
 
 def run_sweep_cells(
@@ -157,16 +209,14 @@ def run_sweep_cells(
 def _iter_sweep_cells(
     cell_kwargs: List[dict], workers: int, with_timing: bool
 ) -> "Iterator":
-    import time
-
     from .batch import run_sweep_cell
 
     context = _fork_context()
     if workers == 1 or context is None or len(cell_kwargs) <= 1:
         for kwargs in cell_kwargs:
-            start = time.perf_counter()
+            start = _now()
             metrics = run_sweep_cell(**kwargs)
-            elapsed = time.perf_counter() - start
+            elapsed = _now() - start
             yield (metrics, elapsed) if with_timing else metrics
         return
     config = {"cells": cell_kwargs}
@@ -174,9 +224,12 @@ def _iter_sweep_cells(
     with context.Pool(
         processes=processes, initializer=_init_worker, initargs=(config,)
     ) as pool:
-        for metrics, elapsed in pool.imap(
+        for metrics, elapsed, snapshot in pool.imap(
             _run_hetero_cell_task, range(len(cell_kwargs)), 1
         ):
+            # Merge before yielding so a caller that checkpoints cell by
+            # cell sees the worker's spans as soon as the cell lands.
+            _merge_snapshots((snapshot,))
             yield (metrics, elapsed) if with_timing else metrics
 
 
@@ -273,7 +326,9 @@ def sweep_random_adversary(
         with context.Pool(
             processes=processes, initializer=_init_worker, initargs=(config,)
         ) as pool:
-            cells: List[List[TrialMetrics]] = pool.map(_run_cell_task, cell_tasks, 1)
+            outcomes = pool.map(_run_cell_task, cell_tasks, 1)
+        _merge_snapshots([snapshot for _, snapshot in outcomes])
+        cells: List[List[TrialMetrics]] = [metrics for metrics, _ in outcomes]
         for n, cell in zip(ns, cells):
             result.points.append(
                 SweepPoint(n=int(n), algorithm=result.algorithm, trials=cell)
@@ -286,7 +341,9 @@ def sweep_random_adversary(
     with context.Pool(
         processes=processes, initializer=_init_worker, initargs=(config,)
     ) as pool:
-        metrics: List[TrialMetrics] = pool.map(_run_task, tasks, chunksize)
+        trial_outcomes = pool.map(_run_task, tasks, chunksize)
+    _merge_snapshots([snapshot for _, snapshot in trial_outcomes])
+    metrics: List[TrialMetrics] = [result for result, _ in trial_outcomes]
 
     for position, n in enumerate(ns):
         start = position * trials

@@ -302,14 +302,31 @@ class SweepResult:
         When the sweep ran with offline-baseline capture (``--ratio``),
         per-``n`` competitive-ratio columns (``mean_ratio``,
         ``median_ratio``, ``p90_ratio``) are appended; sweeps without
-        capture render exactly as before.
+        capture render exactly as before.  When any trial carries an
+        ``extra["engine_fallback"]`` tag (a vectorized cell that routed
+        trials to the fallback engine), a ``fallbacks`` column is
+        appended so downgrades are visible in the table itself — without
+        it, a ``--engine vectorized`` sweep whose cells silently fell
+        back printed nothing distinguishable from a fully vectorized
+        run.
         """
         from .metrics import has_ratio_capture
 
         with_ratio = any(has_ratio_capture(p.trials) for p in self.points)
+        fallbacks_of = {
+            point.n: sum(
+                1
+                for trial_metrics in point.trials
+                if "engine_fallback" in trial_metrics.extra
+            )
+            for point in self.points
+        }
+        with_fallbacks = any(count for count in fallbacks_of.values())
         columns = ["n", "trials", "terminated", "mean", "std", "median", "p90"]
         if with_ratio:
             columns += ["mean_ratio", "median_ratio", "p90_ratio"]
+        if with_fallbacks:
+            columns += ["fallbacks"]
         table = ResultTable(
             title=title or f"{self.algorithm}: interactions to termination",
             columns=columns,
@@ -332,6 +349,8 @@ class SweepResult:
                     median_ratio=ratios.median if ratios else math.inf,
                     p90_ratio=ratios.p90 if ratios else math.inf,
                 )
+            if with_fallbacks:
+                row.update(fallbacks=fallbacks_of[point.n])
             table.add_row(**row)
         return table
 

@@ -1,9 +1,9 @@
-"""RPL004 clean fixture: only elapsed-time telemetry, no wall-clock reads."""
+"""RPL004 clean fixture: timing flows through repro.obs, never raw clocks."""
 
-import time
+from repro.obs import now
 
 
 def measure(work) -> float:
-    started = time.perf_counter()  # telemetry-only clocks are allowed
+    started = now()  # the sanctioned timing helper (docs/observability.md)
     work()
-    return time.perf_counter() - started
+    return now() - started

@@ -8,7 +8,7 @@ from repro.cli import build_parser, main
 
 class TestPackageSurface:
     def test_version(self):
-        assert repro.__version__ == "1.2.0"
+        assert repro.__version__ == "1.4.0"
 
     def test_all_exports_resolve(self):
         for name in repro.__all__:
@@ -224,8 +224,9 @@ class TestVectorizedEngineCLI:
         ``get_kernel`` now raises a ``KeyError`` naming the algorithm and
         listing the registered kernels; the vectorized engine turns that
         into a per-cell ``EngineFallbackWarning`` carrying the same
-        message, and the sweep still completes with reference-identical
-        output.
+        message, and the sweep still completes with the reference numbers
+        plus a ``fallbacks`` column surfacing the downgrade per row
+        (docs/observability.md).
         """
         from repro.algorithms import kernels as kernels_module
         from repro.core.vector_execution import EngineFallbackWarning
@@ -238,7 +239,23 @@ class TestVectorizedEngineCLI:
                 main(["sweep", "gathering", "--ns", "8", "--trials", "2",
                       "--engine", "vectorized", "--batched"]) == 0
             )
-        assert capsys.readouterr().out == reference
+        fallback_out = capsys.readouterr().out
+
+        def drop_last_column(table: str) -> str:
+            lines = []
+            for line in table.splitlines():
+                if line.startswith("|") and line.endswith("|"):
+                    cells = line[1:-1].split("|")
+                    lines.append("|" + "|".join(cells[:-1]) + "|")
+                else:
+                    lines.append(line)
+            return "\n".join(lines) + "\n"
+
+        assert "fallbacks" in fallback_out
+        # Both trials of the one cell downgraded; the numbers themselves
+        # stay reference-identical, only the new column differs.
+        assert "| 2 |" in fallback_out.splitlines()[-1]
+        assert drop_last_column(fallback_out) == reference
         message = str(caught[0].message)
         assert "no decision kernel is registered for algorithm" in message
         assert "'gathering'" in message

@@ -32,7 +32,7 @@ check_docs = _load_check_docs()
 class TestDocsTree:
     def test_expected_docs_exist(self):
         for name in ("architecture.md", "engines.md", "scenarios.md",
-                     "campaigns.md"):
+                     "campaigns.md", "observability.md"):
             assert (REPO_ROOT / "docs" / name).is_file(), name
         assert (REPO_ROOT / "README.md").is_file()
 
@@ -74,7 +74,9 @@ class TestDocsTree:
 class TestModuleDocstrings:
     """Docstring audit: every public module states its role (satellite)."""
 
-    PACKAGES = ("adversaries", "core", "sim", "campaign", "ratio", "search")
+    PACKAGES = (
+        "adversaries", "core", "sim", "campaign", "ratio", "search", "obs"
+    )
 
     def modules(self):
         for package in self.PACKAGES:
@@ -93,7 +95,9 @@ class TestModuleDocstrings:
         assert missing == [], f"modules without a real docstring: {missing}"
 
     def test_package_docstrings_state_invariants(self):
-        for package in ("adversaries", "sim", "campaign", "ratio", "search"):
+        for package in (
+            "adversaries", "sim", "campaign", "ratio", "search", "obs"
+        ):
             source = (
                 REPO_ROOT / "src" / "repro" / package / "__init__.py"
             ).read_text(encoding="utf-8")

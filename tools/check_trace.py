@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Chrome-trace validator: structural checks on exported trace files.
+
+Run from the repository root (needs ``src`` importable)::
+
+    PYTHONPATH=src python tools/check_trace.py trace.json [more.json ...]
+
+Loads each file as JSON and runs :func:`repro.obs.validate_chrome_trace`
+over it: the payload must carry a ``traceEvents`` list whose entries are
+well-formed ``X`` (complete span), ``C`` (counter) or ``i`` (instant)
+events — name/ts/pid/tid present, non-negative durations, non-empty
+counter args — and must contain at least one span (an empty timeline
+from a supposedly traced run is a failed run, not a clean one).
+
+CI uses this to validate the trace written by the traced campaign smoke
+(``repro trace ... campaign run ...``); see docs/observability.md.
+
+Exit code 0 when every file is valid; 1 with one line per problem
+otherwise; 2 on usage errors (no files named, file missing/unreadable).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+from typing import List
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+if str(SRC) not in sys.path:  # bare-checkout convenience, mirrors reprolint.py
+    sys.path.insert(0, str(SRC))
+
+from repro.obs import validate_chrome_trace  # noqa: E402
+
+
+def check_file(path: Path) -> List[str]:
+    """Problems found in one trace file (empty list = valid)."""
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as error:
+        return [f"{path}: unreadable trace: {error}"]
+    return [f"{path}: {problem}" for problem in validate_chrome_trace(payload)]
+
+
+def main(argv: "List[str] | None" = None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    if not args:
+        print("usage: check_trace.py TRACE.json [TRACE.json ...]", file=sys.stderr)
+        return 2
+    missing = [arg for arg in args if not Path(arg).is_file()]
+    if missing:
+        for arg in missing:
+            print(f"no such trace file: {arg}", file=sys.stderr)
+        return 2
+    problems: List[str] = []
+    summaries: List[str] = []
+    for arg in args:
+        path = Path(arg)
+        file_problems = check_file(path)
+        problems.extend(file_problems)
+        if not file_problems:
+            events = json.loads(path.read_text(encoding="utf-8"))["traceEvents"]
+            spans = sum(1 for event in events if event.get("ph") == "X")
+            summaries.append(f"{path}: {spans} spans, {len(events)} events")
+    for line in problems:
+        print(line)
+    if problems:
+        print(f"{len(problems)} trace problem(s)")
+        return 1
+    for line in summaries:
+        print(line)
+    print("traces OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
